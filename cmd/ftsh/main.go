@@ -1,0 +1,125 @@
+// Command ftsh is the fault tolerant shell of Thain & Livny (HPDC 2003):
+// a scripting language that exposes failure handling — try with time and
+// attempt budgets, exponential backoff, alternation — at the top level
+// of programming.
+//
+// Usage:
+//
+//	ftsh script.ftsh [args...]
+//	ftsh -c 'try for 30 seconds
+//	           wget http://server/file
+//	         end'
+//
+// Each external command runs in its own process session; when a try
+// budget expires, the whole session receives SIGTERM, then SIGKILL
+// after a grace period, so runaway children cannot outlive their
+// budget. Script positional arguments are available as ${1}..${9}, $*
+// and $#.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/ast"
+	"repro/internal/ftsh/interp"
+	"repro/internal/ftsh/parser"
+	"repro/internal/proc"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit arguments and streams, so tests
+// can drive it without touching process globals.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftsh", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	command := fs.String("c", "", "execute this script text instead of a file")
+	logPath := fs.String("log", "", "append an execution trace to this file")
+	grace := fs.Duration("grace", proc.DefaultGrace, "delay between SIGTERM and SIGKILL on timeout")
+	shuffle := fs.Bool("shuffle", false, "randomize forany order")
+	maxForall := fs.Int("max-forall", 0, "bound concurrent forall branches (0 = unlimited)")
+	dump := fs.Bool("dump", false, "parse the script and print its canonical form instead of running it")
+	stats := fs.Bool("stats", false, "print a post-mortem execution report to stderr on exit")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	var src, name string
+	args := fs.Args()
+	switch {
+	case *command != "":
+		src, name = *command, "-c"
+	case len(args) > 0:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintf(stderr, "ftsh: %v\n", err)
+			return 111
+		}
+		src, name = string(data), args[0]
+		args = args[1:]
+	default:
+		fmt.Fprintln(stderr, "usage: ftsh [-c script] [-log file] [script.ftsh args...]")
+		return 2
+	}
+
+	if *dump {
+		script, err := parser.Parse(src)
+		if err != nil {
+			fmt.Fprintf(stderr, "ftsh: %s: %v\n", name, err)
+			return 1
+		}
+		if err := ast.Fprint(stdout, script); err != nil {
+			fmt.Fprintf(stderr, "ftsh: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	cfg := interp.Config{
+		Runner:        &proc.RealRunner{Grace: *grace},
+		Runtime:       core.NewReal(0),
+		Stdout:        stdout,
+		Stderr:        stderr,
+		FS:            interp.OSFS{},
+		ShuffleForany: *shuffle,
+		MaxForall:     *maxForall,
+	}
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(stderr, "ftsh: %v\n", err)
+			return 111
+		}
+		defer f.Close()
+		cfg.Log = f
+	}
+
+	in := interp.New(cfg)
+	in.SetArgs(args)
+
+	start := time.Now()
+	err := in.RunSource(ctx, src)
+	if *stats {
+		fmt.Fprintf(stderr, "--- ftsh post-mortem (%v) ---\n", time.Since(start).Round(time.Millisecond))
+		if _, werr := in.Stats().WriteTo(stderr); werr != nil {
+			fmt.Fprintf(stderr, "ftsh: stats: %v\n", werr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "ftsh: %s: %v (after %v)\n", name, err, time.Since(start).Round(time.Millisecond))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli runs the shell with the given arguments, returning exit code and
+// captured output.
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(context.Background(), args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCLIInlineScript(t *testing.T) {
+	code, out, errOut := cli(t, "-c", "echo hello from the grid")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "hello from the grid") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCLIScriptFileWithArgs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "greet.ftsh")
+	script := "echo greetings ${1} and ${2} of ${#}\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := cli(t, path, "alice", "bob")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "greetings alice and bob of 2") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCLIFailurePropagatesExitCode(t *testing.T) {
+	code, _, errOut := cli(t, "-c", "failure")
+	if code != 1 {
+		t.Fatalf("code = %d, want 1 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(errOut, "failure") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestCLIMissingScript(t *testing.T) {
+	code, _, errOut := cli(t)
+	if code != 2 || !strings.Contains(errOut, "usage") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestCLIUnreadableFile(t *testing.T) {
+	code, _, _ := cli(t, "/definitely/not/a/file.ftsh")
+	if code != 111 {
+		t.Fatalf("code = %d, want 111", code)
+	}
+}
+
+func TestCLIDumpCanonicalForm(t *testing.T) {
+	code, out, errOut := cli(t, "-dump", "-c", "try for 90 seconds\nwget http://${h}/f\nend")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "try for 90 seconds") || !strings.Contains(out, "${h}") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCLIDumpSyntaxError(t *testing.T) {
+	code, _, errOut := cli(t, "-dump", "-c", "try for 30 bogons\nx\nend")
+	if code != 1 || !strings.Contains(errOut, "bogons") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestCLIStatsReport(t *testing.T) {
+	code, _, errOut := cli(t, "-stats", "-c", "echo one\ntrue")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(errOut, "post-mortem") || !strings.Contains(errOut, "commands:") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestCLICanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut bytes.Buffer
+	code := run(ctx, []string{"-c", "echo hi"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("code = %d, want 1 for canceled context", code)
+	}
+}
+
+func TestCLIBadFlag(t *testing.T) {
+	code, _, _ := cli(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("code = %d, want 2", code)
+	}
+}
+
+func TestCLIRealPipeline(t *testing.T) {
+	// Full stack with a real process: capture uname into a variable.
+	code, out, errOut := cli(t, "-c", "uname -> os\necho os is ${os}")
+	if code != 0 {
+		t.Skipf("uname unavailable: %q", errOut)
+	}
+	if !strings.Contains(out, "os is ") {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,133 @@
+// Command gridbench regenerates the figures of "The Ethernet Approach
+// to Grid Computing" (Thain & Livny, HPDC 2003) from the simulated
+// substrates in this repository.
+//
+// Usage:
+//
+//	gridbench [-fig N] [-seed S] [-scale F] [-format table|tsv]
+//
+// Without -fig, every figure is produced in order. Output is plain
+// aligned text (or TSV for plotting): sweep tables for Figures 1, 4,
+// and 5, and time series tables for Figures 2, 3, 6, and 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI with explicit arguments and streams, so tests
+// can drive it without touching process globals.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate (1-7); 0 means all")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
+	format := fs.String("format", "table", "output format: table or tsv")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *format != "table" && *format != "tsv" {
+		fmt.Fprintf(stderr, "gridbench: unknown format %q (want table or tsv)\n", *format)
+		return 2
+	}
+	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
+
+	opt := expt.Options{Seed: *seed, Scale: *scale}
+	figs := []int{1, 2, 3, 4, 5, 6, 7}
+	if *fig != 0 {
+		if *fig < 1 || *fig > 7 {
+			fmt.Fprintf(stderr, "gridbench: no such figure %d (the paper has Figures 1-7)\n", *fig)
+			return 2
+		}
+		figs = []int{*fig}
+	}
+
+	var bufferSweep *expt.BufferSweep // figures 4 and 5 share one run
+	for _, f := range figs {
+		start := time.Now()
+		switch f {
+		case 1:
+			r.header(1, "Scalability of Job Submission", "jobs submitted in 5 minutes vs number of submitters")
+			r.dump(expt.Fig1(opt))
+		case 2:
+			r.header(2, "Timeline of Aloha Submitter", "available FDs and cumulative jobs, 400 clients, 30 minutes")
+			tl := expt.Fig2(opt)
+			r.dump(tl.Table())
+			fmt.Fprintf(r.w, "# schedd crashes: %d\n", tl.Crashes)
+		case 3:
+			r.header(3, "Timeline of Ethernet Submitter", "available FDs and cumulative jobs, 400 clients, 30 minutes")
+			tl := expt.Fig3(opt)
+			r.dump(tl.Table())
+			fmt.Fprintf(r.w, "# schedd crashes: %d\n", tl.Crashes)
+		case 4:
+			r.header(4, "Buffer Throughput", "total files consumed vs number of producers")
+			if bufferSweep == nil {
+				bufferSweep = expt.RunBufferSweep(opt)
+			}
+			r.dump(bufferSweep.Consumed)
+		case 5:
+			r.header(5, "Buffer Collisions", "total write collisions vs number of producers")
+			if bufferSweep == nil {
+				bufferSweep = expt.RunBufferSweep(opt)
+			}
+			r.dump(bufferSweep.Collisions)
+		case 6:
+			r.header(6, "Aloha File Reader", "cumulative transfers and collisions over 900 seconds")
+			tl := expt.Fig6(opt)
+			r.dump(tl.Table())
+			fmt.Fprintf(r.w, "# totals: transfers=%d collisions=%d\n", tl.TotalTransfers, tl.TotalCollisions)
+		case 7:
+			r.header(7, "Ethernet File Reader", "cumulative transfers and deferrals over 900 seconds")
+			tl := expt.Fig7(opt)
+			r.dump(tl.Table())
+			fmt.Fprintf(r.w, "# totals: transfers=%d deferrals=%d\n", tl.TotalTransfers, tl.TotalDeferrals)
+		}
+		fmt.Fprintf(r.w, "# generated in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return r.exit
+}
+
+// renderer writes figure banners and tables in the selected format.
+type renderer struct {
+	w      io.Writer
+	stderr io.Writer
+	tsv    bool
+	exit   int
+}
+
+// header prints a figure banner.
+func (r *renderer) header(n int, title, sub string) {
+	fmt.Fprintf(r.w, "==== Figure %d: %s ====\n", n, title)
+	fmt.Fprintf(r.w, "# %s\n", sub)
+}
+
+// tsvWriterTo is satisfied by the metrics tables.
+type tsvWriterTo interface {
+	WriteTSVTo(w io.Writer) (int64, error)
+}
+
+// dump renders any table-like value in the selected format.
+func (r *renderer) dump(t io.WriterTo) {
+	var err error
+	if tv, ok := t.(tsvWriterTo); ok && r.tsv {
+		_, err = tv.WriteTSVTo(r.w)
+	} else {
+		_, err = t.WriteTo(r.w)
+	}
+	if err != nil {
+		fmt.Fprintf(r.stderr, "gridbench: %v\n", err)
+		r.exit = 1
+	}
+}

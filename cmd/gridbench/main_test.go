@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestSingleFigure(t *testing.T) {
+	code, out, errOut := cli(t, "-fig", "7", "-scale", "0.2")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"Figure 7", "transfers", "deferrals", "totals:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	code, out, _ := cli(t, "-fig", "6", "-scale", "0.2", "-format", "tsv")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "t(s)\ttransfers\tcollisions") {
+		t.Fatalf("no TSV header:\n%s", out)
+	}
+}
+
+func TestBadFigure(t *testing.T) {
+	code, _, errOut := cli(t, "-fig", "9")
+	if code != 2 || !strings.Contains(errOut, "no such figure") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	code, _, errOut := cli(t, "-format", "xml")
+	if code != 2 || !strings.Contains(errOut, "unknown format") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := cli(t, "-bogus")
+	if code != 2 {
+		t.Fatalf("code = %d", code)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	_, a, _ := cli(t, "-fig", "6", "-scale", "0.3")
+	_, b, _ := cli(t, "-fig", "6", "-scale", "0.3")
+	// Strip the timing comment lines, which legitimately vary.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(line, "# generated in") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(a) != strip(b) {
+		t.Fatal("same seed produced different figure data")
+	}
+}
+
+func TestAllFiguresSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-figure run; skipped in -short")
+	}
+	code, out, errOut := cli(t, "-scale", "0.1")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for i := 1; i <= 7; i++ {
+		if !strings.Contains(out, "Figure "+string(rune('0'+i))) {
+			t.Fatalf("missing Figure %d", i)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Channel: the discipline validated against its namesake — a shared
+// broadcast medium where overlapping transmissions destroy each other
+// (Metcalfe & Boggs 1976). Thirty stations offer heavy load for ten
+// virtual seconds under each discipline.
+//
+// Expected shapes: Fixed recreates the pure-collision catastrophe;
+// Aloha's randomized backoff recovers some goodput (the original
+// ALOHA network saturated at 18 % of capacity, §3); Ethernet's carrier
+// sense eliminates collisions entirely.
+//
+// Run with: go run ./examples/channel
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+)
+
+func main() {
+	fmt.Println("30 stations, 1 ms frames, 10 virtual seconds of offered overload:")
+	fmt.Printf("%-10s %10s %12s %13s\n", "discipline", "delivered", "collisions", "utilization")
+	for _, d := range []core.Discipline{core.Ethernet, core.Aloha, core.Fixed} {
+		cfg := channel.DefaultStationConfig(d)
+		ch := channel.RunStations(11, 30, 10*time.Second, cfg)
+		fmt.Printf("%-10s %10d %12d %12.0f%%\n",
+			d, ch.Successes, ch.Collisions, 100*ch.Utilization())
+	}
+}

@@ -1,0 +1,369 @@
+// Package condor simulates the job-submission scenario of §5: a
+// population of submitter clients contending for a Condor-style schedd
+// whose critical shared resource is the kernel's table of file
+// descriptors (FDs).
+//
+// The model captures the three feedback loops that shape Figures 1–3 of
+// the paper:
+//
+//  1. Every submission attempt consumes FDs on the client side for its
+//     whole duration (connect, queue, transfer), and a few more on the
+//     schedd side per accepted connection.
+//  2. When the schedd cannot allocate FDs for a new connection it
+//     crashes, aborting every connected client at once — the paper's
+//     "broadcast jam" — and restarts after a delay.
+//  3. The schedd services a bounded number of handshakes concurrently,
+//     so queueing (while holding FDs!) couples load to FD pressure.
+package condor
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the cluster. Zero fields take defaults chosen so
+// the paper's qualitative shapes appear at the paper's client counts
+// (collapse of Fixed above ~400 submitters, etc.).
+type Config struct {
+	// FDCapacity is the kernel file-descriptor table size.
+	FDCapacity int
+	// ClientFDs is the minimum FDs one submission attempt pins on the
+	// client side while in flight; each attempt adds a uniform random
+	// extra up to ClientFDJitter (different jobs carry different numbers
+	// of input files and logs).
+	ClientFDs int
+	// ClientFDJitter is the maximum random extra client-side FDs.
+	ClientFDJitter int
+	// SetupTime separates the client's process-startup FD allocations
+	// from its connection FDs, as a real submitter's open() calls are
+	// spread over its startup.
+	SetupTime time.Duration
+	// ScheddFDs is how many FDs the schedd pins per accepted connection.
+	ScheddFDs int
+	// ServiceSlots bounds concurrent handshakes inside the schedd.
+	ServiceSlots int
+	// ServiceTime is the base time to transfer one job's details.
+	ServiceTime time.Duration
+	// ServiceJitter is the ± fraction of random variation on ServiceTime.
+	ServiceJitter float64
+	// CPULoad models competition for managed resources (§5: the Ethernet
+	// client "maintains about 50 percent of peak performance under
+	// load, due to competition for managed resources, such as the
+	// CPU"): each connected client inflates service time by this
+	// fraction.
+	CPULoad float64
+	// ConnectFailTime is how long a failed or refused connection attempt
+	// costs the client — failures are never free.
+	ConnectFailTime time.Duration
+	// RestartDelay is how long a crashed schedd stays down.
+	RestartDelay time.Duration
+	// HousekeepFDs is how many descriptors the schedd's own periodic
+	// work (fsyncing the job queue, contacting the matchmaker) briefly
+	// needs. If it cannot get them the schedd crashes — "the schedd
+	// itself failing when it cannot allocate enough FDs" (§5).
+	HousekeepFDs int
+	// HousekeepInterval is the cadence of that background work.
+	HousekeepInterval time.Duration
+}
+
+// DefaultConfig returns the parameters used for the paper figures.
+func DefaultConfig() Config {
+	return Config{
+		FDCapacity:        8192,
+		ClientFDs:         15,
+		ClientFDJitter:    5,
+		SetupTime:         20 * time.Millisecond,
+		ScheddFDs:         3,
+		ServiceSlots:      4,
+		ServiceTime:       1500 * time.Millisecond,
+		ServiceJitter:     0.2,
+		CPULoad:           0.0025,
+		ConnectFailTime:   100 * time.Millisecond,
+		RestartDelay:      30 * time.Second,
+		HousekeepFDs:      50,
+		HousekeepInterval: 5 * time.Second,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.FDCapacity <= 0 {
+		c.FDCapacity = d.FDCapacity
+	}
+	if c.ClientFDs <= 0 {
+		c.ClientFDs = d.ClientFDs
+	}
+	// For these two, zero selects the default; pass a negative value to
+	// explicitly disable the effect.
+	if c.ClientFDJitter == 0 {
+		c.ClientFDJitter = d.ClientFDJitter
+	} else if c.ClientFDJitter < 0 {
+		c.ClientFDJitter = 0
+	}
+	if c.CPULoad == 0 {
+		c.CPULoad = d.CPULoad
+	} else if c.CPULoad < 0 {
+		c.CPULoad = 0
+	}
+	if c.SetupTime <= 0 {
+		c.SetupTime = d.SetupTime
+	}
+	if c.ScheddFDs <= 0 {
+		c.ScheddFDs = d.ScheddFDs
+	}
+	if c.ServiceSlots <= 0 {
+		c.ServiceSlots = d.ServiceSlots
+	}
+	if c.ServiceTime <= 0 {
+		c.ServiceTime = d.ServiceTime
+	}
+	if c.ServiceJitter <= 0 {
+		c.ServiceJitter = d.ServiceJitter
+	}
+	if c.ConnectFailTime <= 0 {
+		c.ConnectFailTime = d.ConnectFailTime
+	}
+	if c.RestartDelay <= 0 {
+		c.RestartDelay = d.RestartDelay
+	}
+	if c.HousekeepFDs <= 0 {
+		c.HousekeepFDs = d.HousekeepFDs
+	}
+	if c.HousekeepInterval <= 0 {
+		c.HousekeepInterval = d.HousekeepInterval
+	}
+}
+
+// FDTable is a bounded pool of file descriptors shared by every process
+// on the submit machine. Acquisition never queues: a process that cannot
+// get FDs fails immediately, exactly like open(2) returning EMFILE.
+type FDTable struct {
+	capacity int
+	inUse    int
+	// Failures counts allocation failures, a collision indicator.
+	Failures int64
+}
+
+// NewFDTable returns a table with the given capacity.
+func NewFDTable(capacity int) *FDTable { return &FDTable{capacity: capacity} }
+
+// Free reports available descriptors — the observable used by the
+// Ethernet submitter's carrier sense (/proc/sys/fs/file-nr).
+func (t *FDTable) Free() int { return t.capacity - t.inUse }
+
+// InUse reports descriptors currently held.
+func (t *FDTable) InUse() int { return t.inUse }
+
+// Capacity reports the table size.
+func (t *FDTable) Capacity() int { return t.capacity }
+
+// TryAcquire takes n descriptors, reporting success.
+func (t *FDTable) TryAcquire(n int) bool {
+	if t.inUse+n > t.capacity {
+		t.Failures++
+		return false
+	}
+	t.inUse += n
+	return true
+}
+
+// Release returns n descriptors.
+func (t *FDTable) Release(n int) {
+	t.inUse -= n
+	if t.inUse < 0 {
+		panic("condor: FD table underflow")
+	}
+}
+
+// Errors distinguishing submission failure modes; all are collisions in
+// the Ethernet sense (detected after consuming the resource).
+var (
+	// ErrNoFDs means the client could not allocate file descriptors.
+	ErrNoFDs = errors.New("cannot allocate file descriptors")
+	// ErrScheddDown means the connection was refused.
+	ErrScheddDown = errors.New("connection refused: schedd down")
+	// ErrScheddCrashed means the schedd died mid-submission.
+	ErrScheddCrashed = errors.New("connection reset: schedd crashed")
+)
+
+// Schedd is the simulated Condor scheduler daemon.
+type Schedd struct {
+	eng  *sim.Engine
+	cfg  Config
+	fds  *FDTable
+	down bool
+
+	slots *sim.Resource
+
+	// conns maps live connection ids to their abort functions, so a
+	// crash can reset every client at once.
+	conns  map[int64]context.CancelFunc
+	connID int64
+
+	// Jobs counts successful submissions; Crashes counts schedd deaths.
+	Jobs    int64
+	Crashes int64
+}
+
+// Cluster bundles the shared FD table and the schedd.
+type Cluster struct {
+	Eng    *sim.Engine
+	Cfg    Config
+	FDs    *FDTable
+	Schedd *Schedd
+}
+
+// NewCluster builds the scenario substrate on engine e.
+func NewCluster(e *sim.Engine, cfg Config) *Cluster {
+	cfg.fillDefaults()
+	fds := NewFDTable(cfg.FDCapacity)
+	s := &Schedd{
+		eng:   e,
+		cfg:   cfg,
+		fds:   fds,
+		slots: sim.NewResource(e, "schedd-slots", cfg.ServiceSlots),
+		conns: make(map[int64]context.CancelFunc),
+	}
+	return &Cluster{Eng: e, Cfg: cfg, FDs: fds, Schedd: s}
+}
+
+// Down reports whether the schedd is currently crashed.
+func (s *Schedd) Down() bool { return s.down }
+
+// StartHousekeeping begins the schedd's periodic background work, which
+// transiently needs HousekeepFDs descriptors; starvation crashes the
+// daemon. The loop stops when ctx is canceled, letting the engine
+// quiesce at the end of an experiment window.
+func (c *Cluster) StartHousekeeping(ctx context.Context) {
+	s := c.Schedd
+	var tick func()
+	tick = func() {
+		if ctx.Err() != nil {
+			return
+		}
+		if !s.down {
+			if s.fds.TryAcquire(s.cfg.HousekeepFDs) {
+				s.fds.Release(s.cfg.HousekeepFDs)
+			} else {
+				s.crash()
+			}
+		}
+		s.eng.Schedule(s.cfg.HousekeepInterval, tick)
+	}
+	s.eng.Schedule(s.cfg.HousekeepInterval, tick)
+}
+
+// Submit performs one submission attempt from process p. It returns nil
+// when the job lands in the queue; any error is a collision (the
+// resource was touched and contention or breakage was discovered).
+func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// The client process must allocate its own descriptors — program
+	// text, the job file, logs, then sockets. This is the unmanaged
+	// resource the paper found to be the real bottleneck. Allocation is
+	// spread over process startup, so competing clients interleave and
+	// the table can overcommit in aggregate.
+	want := s.cfg.ClientFDs
+	if s.cfg.ClientFDJitter > 0 {
+		want += int(p.Rand() * float64(s.cfg.ClientFDJitter+1))
+	}
+	first := want / 2
+	if !s.fds.TryAcquire(first) {
+		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
+			return err
+		}
+		return core.Collision("fds", ErrNoFDs)
+	}
+	defer s.fds.Release(first)
+	if err := p.Sleep(ctx, s.cfg.SetupTime); err != nil {
+		return err
+	}
+	rest := want - first
+	if !s.fds.TryAcquire(rest) {
+		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
+			return err
+		}
+		return core.Collision("fds", ErrNoFDs)
+	}
+	defer s.fds.Release(rest)
+
+	if s.down {
+		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
+			return err
+		}
+		return core.Collision("schedd", ErrScheddDown)
+	}
+
+	// The schedd accepts the connection, pinning its own descriptors.
+	// Failure to do so kills the schedd (broadcast jam).
+	if !s.fds.TryAcquire(s.cfg.ScheddFDs) {
+		s.crash()
+		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
+			return err
+		}
+		return core.Collision("schedd", ErrScheddCrashed)
+	}
+	defer s.fds.Release(s.cfg.ScheddFDs)
+
+	// Register for the crash broadcast.
+	connCtx, cancel := s.eng.WithCancel(ctx)
+	defer cancel()
+	id := s.connID
+	s.connID++
+	s.conns[id] = cancel
+	defer delete(s.conns, id)
+
+	// Queue for a service slot, then transfer the job.
+	if err := s.slots.Acquire(p, connCtx); err != nil {
+		return s.submitErr(ctx, err)
+	}
+	defer s.slots.Release()
+	// Service slows as more clients are connected: the CPU, memory, and
+	// disk of the submit machine are themselves shared resources.
+	d := time.Duration(float64(s.cfg.ServiceTime) * (1 + s.cfg.CPULoad*float64(len(s.conns))))
+	d += time.Duration(float64(d) * s.cfg.ServiceJitter * (2*p.Rand() - 1))
+	if err := p.Sleep(connCtx, d); err != nil {
+		return s.submitErr(ctx, err)
+	}
+	s.Jobs++
+	return nil
+}
+
+// submitErr classifies an aborted submission: if the caller's own
+// context died, propagate; otherwise the schedd crashed underneath us.
+func (s *Schedd) submitErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return core.Collision("schedd", ErrScheddCrashed)
+}
+
+// crash kills the schedd: every live connection is reset and the daemon
+// restarts after RestartDelay.
+func (s *Schedd) crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.Crashes++
+	// Reset connections in id order so the simulation stays
+	// deterministic (map iteration order is randomized).
+	ids := make([]int64, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cancel := s.conns[id]
+		delete(s.conns, id)
+		cancel()
+	}
+	s.eng.Schedule(s.cfg.RestartDelay, func() { s.down = false })
+}

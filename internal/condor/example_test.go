@@ -1,0 +1,38 @@
+package condor_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Example contrasts the Aloha and Ethernet submitter populations on an
+// overloaded FD table, the dynamics behind Figures 2 and 3: the
+// Ethernet carrier threshold keeps the schedd alive.
+func Example() {
+	for _, d := range []core.Discipline{core.Aloha, core.Ethernet} {
+		e := sim.New(1)
+		cl := condor.NewCluster(e, condor.Config{FDCapacity: 1024})
+		ctx, cancel := e.WithTimeout(e.Context(), 5*time.Minute)
+		cl.StartHousekeeping(ctx)
+		cfg := condor.DefaultSubmitterConfig(d)
+		cfg.Threshold = 200
+		for i := 0; i < 70; i++ { // demand ≈ 70×20.5 ≈ 1435 > 1024
+			e.Spawn("submitter", func(p *sim.Proc) {
+				var sub condor.Submitter
+				sub.Loop(p, ctx, cl, cfg)
+			})
+		}
+		if err := e.Run(); err != nil {
+			fmt.Println(err)
+		}
+		cancel()
+		fmt.Printf("%-8s crashes=%d\n", d, cl.Schedd.Crashes)
+	}
+	// Output:
+	// Aloha    crashes=4
+	// Ethernet crashes=0
+}

@@ -1,0 +1,75 @@
+package condor
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SubmitterConfig shapes one submitter client, the §5 scenario-one
+// workload: "a large number of clients attempting to submit jobs into a
+// Condor system", each wrapping condor_submit in an ftsh try.
+type SubmitterConfig struct {
+	// Discipline selects Fixed, Aloha, or Ethernet behaviour.
+	Discipline core.Discipline
+	// TryLimit bounds each work unit: the paper uses `try for 5 minutes`.
+	TryLimit time.Duration
+	// Threshold is the Ethernet carrier-sense level: defer while free
+	// FDs < Threshold. The paper uses 1000.
+	Threshold int
+	// ThinkTime separates a successful submission from the next job, the
+	// cadence of a Chimera-style DAG dispatcher.
+	ThinkTime time.Duration
+	// Observer receives discipline events.
+	Observer core.Observer
+}
+
+// DefaultSubmitterConfig mirrors the paper's scripts.
+func DefaultSubmitterConfig(d core.Discipline) SubmitterConfig {
+	return SubmitterConfig{
+		Discipline: d,
+		TryLimit:   5 * time.Minute,
+		Threshold:  1000,
+		ThinkTime:  time.Second,
+	}
+}
+
+// Submitter is one client process's accounting.
+type Submitter struct {
+	// Submitted counts this client's successful submissions.
+	Submitted int64
+	// Exhausted counts work units abandoned after the try limit.
+	Exhausted int64
+}
+
+// Loop runs the submitter until ctx is canceled: an endless sequence of
+// jobs, each wrapped in a try with the configured discipline.
+func (sub *Submitter) Loop(p *sim.Proc, ctx context.Context, cl *Cluster, cfg SubmitterConfig) {
+	client := &core.Client{
+		Rt:         p,
+		Discipline: cfg.Discipline,
+		Limit:      core.For(cfg.TryLimit),
+		Sense:      core.ThresholdSense("file-nr", cl.FDs.Free, cfg.Threshold),
+		Observer:   cfg.Observer,
+	}
+	for ctx.Err() == nil {
+		err := client.Do(ctx, func(ctx context.Context) error {
+			return cl.Schedd.Submit(p, ctx)
+		})
+		switch {
+		case err == nil:
+			sub.Submitted++
+			if cfg.ThinkTime > 0 {
+				if p.Sleep(ctx, cfg.ThinkTime) != nil {
+					return
+				}
+			}
+		case ctx.Err() != nil:
+			return
+		default:
+			sub.Exhausted++
+		}
+	}
+}

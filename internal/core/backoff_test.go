@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func fixedRand(v float64) func() float64 { return func() float64 { return v } }
+
+func TestBackoffDoublesFromBase(t *testing.T) {
+	b := NewBackoff(fixedRand(0)) // random factor pinned to RandMin = 1
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("Next #%d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffCapsAtMax(t *testing.T) {
+	b := NewBackoff(fixedRand(0))
+	b.Base = time.Second
+	b.Cap = 10 * time.Second
+	b.Reset()
+	var last time.Duration
+	for i := 0; i < 20; i++ {
+		last = b.Next()
+	}
+	if last != 10*time.Second {
+		t.Fatalf("capped delay = %v, want 10s", last)
+	}
+}
+
+func TestBackoffPaperCapIsOneHour(t *testing.T) {
+	b := NewBackoff(fixedRand(0))
+	for i := 0; i < 40; i++ {
+		b.Next()
+	}
+	if got := b.Next(); got != time.Hour {
+		t.Fatalf("delay after many failures = %v, want 1h (paper §4)", got)
+	}
+}
+
+func TestBackoffRandomFactorRange(t *testing.T) {
+	// With rand = 0.999..., factor approaches 2; delays must stay < 2x.
+	b := NewBackoff(fixedRand(0.9999))
+	d := b.Next()
+	if d < time.Second || d >= 2*time.Second {
+		t.Fatalf("first delay = %v, want in [1s, 2s)", d)
+	}
+}
+
+func TestBackoffResetRestartsSequence(t *testing.T) {
+	b := NewBackoff(fixedRand(0))
+	b.Next()
+	b.Next()
+	b.Reset()
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("after Reset, Next = %v, want 1s", got)
+	}
+	if b.Attempts() != 1 {
+		t.Fatalf("Attempts = %d, want 1", b.Attempts())
+	}
+}
+
+func TestBackoffPeekDoesNotAdvance(t *testing.T) {
+	b := NewBackoff(fixedRand(0))
+	if p := b.Peek(); p != time.Second {
+		t.Fatalf("Peek = %v, want 1s", p)
+	}
+	b.Next() // 1s
+	if p := b.Peek(); p != 2*time.Second {
+		t.Fatalf("Peek after one failure = %v, want 2s", p)
+	}
+	if got := b.Next(); got != 2*time.Second {
+		t.Fatalf("Next = %v, want 2s", got)
+	}
+}
+
+func TestBackoffOverflowGuard(t *testing.T) {
+	b := NewBackoff(fixedRand(0))
+	b.Base = time.Duration(1) << 62
+	b.Cap = time.Hour
+	b.Reset()
+	b.Next()
+	if got := b.Next(); got != time.Hour {
+		t.Fatalf("overflowing delay = %v, want clamped to 1h", got)
+	}
+}
+
+func TestBackoffUnrandomizedWhenBoundsEqual(t *testing.T) {
+	b := NewBackoff(fixedRand(0.5))
+	b.RandMin, b.RandMax = 1, 1
+	b.Reset()
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("unrandomized Next = %v, want exactly 1s", got)
+	}
+}
+
+// Property: every delay is within [cur, 2*cur) of the deterministic
+// doubled-and-capped schedule, for arbitrary random streams.
+func TestQuickBackoffEnvelope(t *testing.T) {
+	f := func(vals []float64) bool {
+		i := 0
+		rnd := func() float64 {
+			if len(vals) == 0 {
+				return 0.5
+			}
+			v := vals[i%len(vals)]
+			i++
+			v = math.Abs(math.Mod(v, 1)) // frac in [0,1)
+			if math.IsNaN(v) {
+				v = 0.5
+			}
+			return v
+		}
+		b := NewBackoff(rnd)
+		ideal := time.Duration(0)
+		for n := 0; n < 30; n++ {
+			if ideal == 0 {
+				ideal = b.Base
+			} else {
+				ideal *= 2
+				if ideal > b.Cap || ideal <= 0 {
+					ideal = b.Cap
+				}
+			}
+			d := b.Next()
+			if d < ideal || d >= 2*ideal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the deterministic schedule is monotonically non-decreasing.
+func TestQuickBackoffMonotonic(t *testing.T) {
+	f := func(baseMs uint16, factorCenti uint8) bool {
+		b := &Backoff{
+			Base:    time.Duration(baseMs%5000+1) * time.Millisecond,
+			Cap:     time.Hour,
+			Factor:  1.0 + float64(factorCenti%200)/100.0,
+			RandMin: 1, RandMax: 1,
+		}
+		b.Reset()
+		prev := time.Duration(0)
+		for n := 0; n < 25; n++ {
+			d := b.Next()
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The paper's central observation is that failure detail is usually
+// unavailable ("untyped exceptions"), so this package keeps error
+// classification deliberately coarse. Three sentinel kinds matter to the
+// Ethernet discipline itself; everything else is an opaque failure.
+
+// ErrCollision marks a failure caused by contention detected *after*
+// consuming a resource — the Ethernet "collision detect" outcome. Ops
+// wrap or return it so observers can count collisions.
+var ErrCollision = errors.New("collision: resource in contention")
+
+// ErrDeferred marks an attempt abandoned *before* consuming the resource
+// because carrier sense judged it busy. Deferrals are cheap; collisions
+// are not. The distinction drives Figures 5 and 7.
+var ErrDeferred = errors.New("deferred: carrier busy")
+
+// ErrFailure is the generic untyped failure, equivalent to ftsh's
+// `failure` command or a non-zero exit code.
+var ErrFailure = errors.New("failure")
+
+// Collision wraps err (which may be nil) as a collision on resource name.
+func Collision(name string, err error) error {
+	if err == nil {
+		return fmt.Errorf("%s: %w", name, ErrCollision)
+	}
+	return fmt.Errorf("%s: %w: %v", name, ErrCollision, err)
+}
+
+// Deferred wraps a carrier-sense deferral on resource name.
+func Deferred(name string) error {
+	return fmt.Errorf("%s: %w", name, ErrDeferred)
+}
+
+// IsCollision reports whether err is or wraps ErrCollision.
+func IsCollision(err error) bool { return errors.Is(err, ErrCollision) }
+
+// IsDeferred reports whether err is or wraps ErrDeferred.
+func IsDeferred(err error) bool { return errors.Is(err, ErrDeferred) }
+
+// ExhaustedError reports why a Try gave up: its budget of time and/or
+// attempts ran out. Last holds the most recent attempt's error.
+type ExhaustedError struct {
+	Attempts int           // attempts actually made
+	Elapsed  time.Duration // time spent inside Try
+	Last     error         // error from the final attempt, possibly nil if canceled pre-attempt
+}
+
+// Error implements the error interface.
+func (e *ExhaustedError) Error() string {
+	if e.Last == nil {
+		return fmt.Sprintf("try: exhausted after %d attempts in %v", e.Attempts, e.Elapsed)
+	}
+	return fmt.Sprintf("try: exhausted after %d attempts in %v: last error: %v", e.Attempts, e.Elapsed, e.Last)
+}
+
+// Unwrap exposes the last attempt error to errors.Is/As chains.
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// AllFailedError reports a Forany in which no alternative succeeded.
+type AllFailedError struct {
+	Errs []error // one per alternative, in attempt order
+}
+
+// Error implements the error interface.
+func (e *AllFailedError) Error() string {
+	return fmt.Sprintf("forany: all %d alternatives failed", len(e.Errs))
+}
+
+// Unwrap exposes the branch errors to errors.Is/As chains.
+func (e *AllFailedError) Unwrap() []error { return e.Errs }
+
+// BranchError reports a Forall in which at least one branch failed.
+type BranchError struct {
+	Errs []error // parallel to the branch list; nil for successful branches
+}
+
+// Error implements the error interface.
+func (e *BranchError) Error() string {
+	n := 0
+	for _, err := range e.Errs {
+		if err != nil {
+			n++
+		}
+	}
+	return fmt.Sprintf("forall: %d of %d branches failed", n, len(e.Errs))
+}
+
+// Unwrap exposes the branch errors to errors.Is/As chains.
+func (e *BranchError) Unwrap() []error { return e.Errs }

@@ -1,0 +1,132 @@
+// Package core implements the Ethernet approach to resource sharing from
+// Thain & Livny, "The Ethernet Approach to Grid Computing" (HPDC 2003).
+//
+// The package provides the paper's arbitration discipline as a library:
+//
+//   - Carrier sense: observe a shared resource before consuming it
+//     (the Sense hook on Client and the EthernetSense option on Try).
+//   - Collision detect: operations report failure by returning an error;
+//     helpers classify collisions, deferrals, and plain failures.
+//   - Exponential backoff: Backoff doubles a base delay after every
+//     failure up to a cap, multiplying each delay by a random factor in
+//     [1,2) to break synchronization among competing clients.
+//   - Limited allocation: Try bounds work by wall-clock budget and/or
+//     attempt count, and cancels in-flight work when the budget expires.
+//
+// All timing flows through the Runtime interface so the identical logic
+// runs against the real clock (Real) or a discrete-event simulation
+// (internal/sim), which is how the paper's experiments are reproduced at
+// laptop scale.
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Runtime abstracts time, randomness, and concurrency for fault-tolerant
+// clients. internal/sim provides a virtual-time implementation; Real runs
+// against the wall clock.
+type Runtime interface {
+	// Now reports the current time.
+	Now() time.Time
+	// Sleep pauses for d or until ctx is canceled, returning the
+	// context's error in the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+	// WithTimeout derives a context canceled after d.
+	WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
+	// WithCancel derives an explicitly cancelable context.
+	WithCancel(parent context.Context) (context.Context, context.CancelFunc)
+	// Rand returns a uniform value in [0,1).
+	Rand() float64
+	// Parallel runs the fns concurrently, handing each branch a Runtime
+	// valid within that branch, and waits for all branches to return.
+	// Element i of the result is fn[i]'s error. At most limit branches
+	// run at once; limit <= 0 means unlimited. Bounding parallelism is
+	// the §4 requirement that "the creation of processes must be
+	// governed by an Ethernet-like algorithm similar to that of try".
+	Parallel(ctx context.Context, limit int, fns []func(ctx context.Context, rt Runtime) error) []error
+}
+
+// Real is the wall-clock Runtime used by the ftsh command-line shell and
+// any production client of this library.
+type Real struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewReal returns a wall-clock runtime. If seed is zero the current time
+// seeds the random source.
+func NewReal(seed int64) *Real {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Real{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements Runtime.
+func (r *Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Runtime using a timer and ctx.Done.
+func (r *Real) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WithTimeout implements Runtime.
+func (r *Real) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+// WithCancel implements Runtime.
+func (r *Real) WithCancel(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(parent)
+}
+
+// Rand implements Runtime; it is safe for concurrent use.
+func (r *Real) Rand() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+// Parallel implements Runtime with a pool of up to limit goroutines
+// (one per branch when unlimited).
+func (r *Real) Parallel(ctx context.Context, limit int, fns []func(ctx context.Context, rt Runtime) error) []error {
+	errs := make([]error, len(fns))
+	workers := len(fns)
+	if limit > 0 && limit < workers {
+		workers = limit
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fns[i](ctx, r)
+			}
+		}()
+	}
+	for i := range fns {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errs
+}

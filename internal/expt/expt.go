@@ -1,0 +1,366 @@
+// Package expt regenerates every figure in the paper's evaluation (§5).
+// Each FigN function builds a fresh simulated universe, runs the paper's
+// workload, and returns the same series the figure plots. The package is
+// used by cmd/gridbench, by the repository's benchmarks, and by
+// integration tests that assert the paper's qualitative shapes.
+package expt
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/fsbuffer"
+	"repro/internal/metrics"
+	"repro/internal/replica"
+	"repro/internal/sim"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed makes the run reproducible; the default is 1.
+	Seed int64
+	// Scale shrinks time windows and client populations for quick runs
+	// (benchmarks, CI). 1.0 reproduces the paper's parameters; 0.1 runs
+	// roughly 100× less work. Zero means 1.0.
+	Scale float64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1.0
+	}
+	return o.Scale
+}
+
+// scaleN scales a client population, keeping at least 1.
+func (o Options) scaleN(n int) int {
+	v := int(float64(n) * o.scale())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// scaleD scales a time window.
+func (o Options) scaleD(d time.Duration) time.Duration {
+	v := time.Duration(float64(d) * o.scale())
+	if v < time.Second {
+		v = time.Second
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1: job submission (Figures 1, 2, 3)
+// ---------------------------------------------------------------------
+
+// SubmitWindow is the measurement window of Figure 1 ("jobs submitted in
+// five minutes").
+const SubmitWindow = 5 * time.Minute
+
+// TimelineWindow is the window of Figures 2 and 3 (thirty minutes).
+const TimelineWindow = 30 * time.Minute
+
+// TimelineClients is the client population of Figures 2 and 3.
+const TimelineClients = 400
+
+// Fig1Sweep is the submitter counts swept in Figure 1 (x-axis 0–500).
+var Fig1Sweep = []int{10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
+
+// SubmitCell runs n submitters with the given client and cluster
+// configurations for the window, returning total jobs submitted and
+// schedd crashes. It is the building block of Figure 1 and of the
+// threshold ablation benchmarks.
+func SubmitCell(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config) (jobs, crashes int64) {
+	e := sim.New(seed)
+	cl := condor.NewCluster(e, clCfg)
+	ctx, cancel := e.WithTimeout(e.Context(), window)
+	defer cancel()
+	cl.StartHousekeeping(ctx)
+	for i := 0; i < n; i++ {
+		e.Spawn("submitter", func(p *sim.Proc) {
+			var sub condor.Submitter
+			sub.Loop(p, ctx, cl, subCfg)
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic("expt: " + err.Error())
+	}
+	return cl.Schedd.Jobs, cl.Schedd.Crashes
+}
+
+// scaledConfigs returns submitter and cluster configurations whose FD
+// capacity and carrier threshold shrink with opt.Scale, so scaled-down
+// runs keep the paper's contention regime.
+func scaledConfigs(opt Options, d core.Discipline) (condor.SubmitterConfig, condor.Config) {
+	subCfg := condor.DefaultSubmitterConfig(d)
+	clCfg := condor.Config{}
+	if opt.scale() != 1.0 {
+		subCfg.Threshold = opt.scaleN(subCfg.Threshold)
+		clCfg.FDCapacity = opt.scaleN(condor.DefaultConfig().FDCapacity)
+	}
+	return subCfg, clCfg
+}
+
+// runSubmitCell runs n submitters of discipline d with paper defaults.
+func runSubmitCell(seed int64, d core.Discipline, n int, window time.Duration) int64 {
+	jobs, _ := SubmitCell(seed, n, window, condor.DefaultSubmitterConfig(d), condor.Config{})
+	return jobs
+}
+
+// Fig1 reproduces "Figure 1: Scalability of Job Submission": jobs
+// submitted in five minutes versus the number of submitters, for the
+// Ethernet, Aloha, and Fixed disciplines.
+func Fig1(opt Options) *metrics.SweepTable {
+	window := opt.scaleD(SubmitWindow)
+	xs := make([]int, 0, len(Fig1Sweep))
+	for _, n := range Fig1Sweep {
+		xs = append(xs, opt.scaleN(n))
+	}
+	t := &metrics.SweepTable{XLabel: "submitters", Xs: xs}
+	for _, d := range core.Disciplines {
+		col := metrics.SweepCol{Name: d.String()}
+		subCfg, clCfg := scaledConfigs(opt, d)
+		for i, n := range xs {
+			jobs, _ := SubmitCell(opt.seed()+int64(i), n, window, subCfg, clCfg)
+			col.Vals = append(col.Vals, float64(jobs))
+		}
+		t.Cols = append(t.Cols, col)
+	}
+	return t
+}
+
+// SubmitTimeline holds the data of Figures 2 and 3: available FDs and
+// cumulative jobs sampled over the run.
+type SubmitTimeline struct {
+	FDs  *metrics.Series // available file descriptors
+	Jobs *metrics.Series // cumulative jobs submitted
+	// Crashes counts schedd failures during the run (the upward FD
+	// spikes of Figure 2).
+	Crashes int64
+}
+
+// Table renders the timeline in the paper's two-line form.
+func (tl *SubmitTimeline) Table() *metrics.Table {
+	return &metrics.Table{XLabel: "t(s)", Series: []*metrics.Series{tl.FDs, tl.Jobs}}
+}
+
+// runSubmitTimeline drives TimelineClients clients of discipline d for
+// TimelineWindow, sampling every 5 seconds.
+func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
+	e := sim.New(opt.seed())
+	subCfg, clCfg := scaledConfigs(opt, d)
+	cl := condor.NewCluster(e, clCfg)
+	window := opt.scaleD(TimelineWindow)
+	n := opt.scaleN(TimelineClients)
+	ctx, cancel := e.WithTimeout(e.Context(), window)
+	defer cancel()
+	cl.StartHousekeeping(ctx)
+
+	tl := &SubmitTimeline{
+		FDs:  metrics.NewSeries("avail-fds"),
+		Jobs: metrics.NewSeries("jobs"),
+	}
+	const sampleEvery = 5 * time.Second
+	var tick func()
+	tick = func() {
+		tl.FDs.Add(e.Elapsed(), float64(cl.FDs.Free()))
+		tl.Jobs.Add(e.Elapsed(), float64(cl.Schedd.Jobs))
+		if e.Elapsed() < window {
+			e.Schedule(sampleEvery, tick)
+		}
+	}
+	e.Schedule(0, tick)
+
+	for i := 0; i < n; i++ {
+		e.Spawn("submitter", func(p *sim.Proc) {
+			var sub condor.Submitter
+			sub.Loop(p, ctx, cl, subCfg)
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic("expt: " + err.Error())
+	}
+	tl.Crashes = cl.Schedd.Crashes
+	return tl
+}
+
+// Fig2 reproduces "Figure 2: Timeline of Aloha Submitter".
+func Fig2(opt Options) *SubmitTimeline { return runSubmitTimeline(opt, core.Aloha) }
+
+// Fig3 reproduces "Figure 3: Timeline of Ethernet Submitter".
+func Fig3(opt Options) *SubmitTimeline { return runSubmitTimeline(opt, core.Ethernet) }
+
+// ---------------------------------------------------------------------
+// Scenario 2: shared filesystem buffer (Figures 4, 5)
+// ---------------------------------------------------------------------
+
+// BufferWindow is the measurement window for the buffer sweep.
+const BufferWindow = 10 * time.Minute
+
+// Fig45Sweep is the producer counts swept in Figures 4 and 5.
+var Fig45Sweep = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+
+// BufferSweep holds both buffer figures, which come from one experiment:
+// files consumed (Figure 4) and write collisions (Figure 5) versus the
+// number of producers.
+type BufferSweep struct {
+	Consumed   *metrics.SweepTable
+	Collisions *metrics.SweepTable
+}
+
+// RunBufferSweep runs the producer/consumer scenario across the sweep
+// and both disciplines, returning both figures' tables.
+func RunBufferSweep(opt Options) *BufferSweep {
+	window := opt.scaleD(BufferWindow)
+	xs := make([]int, 0, len(Fig45Sweep))
+	for _, n := range Fig45Sweep {
+		xs = append(xs, opt.scaleN(n))
+	}
+	bs := &BufferSweep{
+		Consumed:   &metrics.SweepTable{XLabel: "producers", Xs: xs},
+		Collisions: &metrics.SweepTable{XLabel: "producers", Xs: xs},
+	}
+	for _, d := range core.Disciplines {
+		cons := metrics.SweepCol{Name: d.String()}
+		coll := metrics.SweepCol{Name: d.String()}
+		for i, n := range xs {
+			e := sim.New(opt.seed() + int64(i))
+			b := fsbuffer.New(e, fsbuffer.Config{})
+			ctx, cancel := e.WithTimeout(e.Context(), window)
+			e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
+			for j := 0; j < n; j++ {
+				j := j
+				e.Spawn("producer", func(p *sim.Proc) {
+					var pr fsbuffer.Producer
+					pr.Loop(p, ctx, b, j, fsbuffer.DefaultProducerConfig(d))
+				})
+			}
+			if err := e.Run(); err != nil {
+				panic("expt: " + err.Error())
+			}
+			cancel()
+			cons.Vals = append(cons.Vals, float64(b.Consumed))
+			coll.Vals = append(coll.Vals, float64(b.Collisions))
+		}
+		bs.Consumed.Cols = append(bs.Consumed.Cols, cons)
+		bs.Collisions.Cols = append(bs.Collisions.Cols, coll)
+	}
+	return bs
+}
+
+// Fig4 reproduces "Figure 4: Buffer Throughput".
+func Fig4(opt Options) *metrics.SweepTable { return RunBufferSweep(opt).Consumed }
+
+// Fig5 reproduces "Figure 5: Buffer Collisions".
+func Fig5(opt Options) *metrics.SweepTable { return RunBufferSweep(opt).Collisions }
+
+// ---------------------------------------------------------------------
+// Scenario 3: black holes (Figures 6, 7)
+// ---------------------------------------------------------------------
+
+// ReaderWindow is the window of Figures 6 and 7 (900 seconds).
+const ReaderWindow = 900 * time.Second
+
+// ReaderClients is the number of reader clients (three in the paper).
+const ReaderClients = 3
+
+// ReaderTimeline holds one reader figure: cumulative transfers plus the
+// discipline's characteristic penalty events (collisions for Aloha,
+// deferrals for Ethernet).
+type ReaderTimeline struct {
+	Transfers *metrics.Series
+	Penalty   *metrics.Series // collisions (Fig 6) or deferrals (Fig 7)
+	// Totals for shape checks.
+	TotalTransfers, TotalCollisions, TotalDeferrals int64
+}
+
+// Table renders the timeline in the paper's form.
+func (tl *ReaderTimeline) Table() *metrics.Table {
+	return &metrics.Table{XLabel: "t(s)", Series: []*metrics.Series{tl.Transfers, tl.Penalty}}
+}
+
+// runReaderTimeline drives the replicated-service scenario with
+// discipline d and the paper's reader parameters.
+func runReaderTimeline(opt Options, d core.Discipline) *ReaderTimeline {
+	window := opt.scaleD(ReaderWindow)
+	rcfg := replica.DefaultReaderConfig(d)
+	rcfg.OuterLimit = window
+	return ReaderCell(opt.seed(), window, rcfg)
+}
+
+// ReaderCell runs the black-hole scenario with an arbitrary reader
+// configuration — the building block of Figures 6 and 7 and of the
+// probe-timeout ablation.
+func ReaderCell(seed int64, window time.Duration, rcfg replica.ReaderConfig) *ReaderTimeline {
+	e := sim.New(seed)
+	cfg := replica.Config{}
+	servers := []*replica.Server{
+		replica.NewServer(e, "xxx", true, cfg), // the permanent black hole
+		replica.NewServer(e, "yyy", false, cfg),
+		replica.NewServer(e, "zzz", false, cfg),
+	}
+	ctx, cancel := e.WithTimeout(e.Context(), window)
+	defer cancel()
+	readers := make([]*replica.Reader, ReaderClients)
+	for i := range readers {
+		readers[i] = &replica.Reader{}
+		r := readers[i]
+		e.Spawn("reader", func(p *sim.Proc) { r.Loop(p, ctx, servers, rcfg) })
+	}
+	if err := e.Run(); err != nil {
+		panic("expt: " + err.Error())
+	}
+
+	penaltyName := "collisions"
+	penaltyKind := replica.EvCollision
+	if rcfg.Discipline == core.Ethernet {
+		penaltyName = "deferrals"
+		penaltyKind = replica.EvDeferral
+	}
+	tl := &ReaderTimeline{
+		Transfers: metrics.NewSeries("transfers"),
+		Penalty:   metrics.NewSeries(penaltyName),
+	}
+	// Merge per-reader event logs into cumulative series.
+	var evs []replica.Event
+	for _, r := range readers {
+		evs = append(evs, r.Events...)
+		tl.TotalCollisions += r.Collisions
+		tl.TotalDeferrals += r.Deferrals
+		tl.TotalTransfers += r.Done
+	}
+	sortEvents(evs)
+	nT, nP := 0, 0
+	for _, ev := range evs {
+		switch ev.Kind {
+		case replica.EvTransfer:
+			nT++
+			tl.Transfers.Add(ev.At, float64(nT))
+		case penaltyKind:
+			nP++
+			tl.Penalty.Add(ev.At, float64(nP))
+		}
+	}
+	return tl
+}
+
+// sortEvents orders events by time (stable for equal times).
+func sortEvents(evs []replica.Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}
+
+// Fig6 reproduces "Figure 6: Aloha File Reader".
+func Fig6(opt Options) *ReaderTimeline { return runReaderTimeline(opt, core.Aloha) }
+
+// Fig7 reproduces "Figure 7: Ethernet File Reader".
+func Fig7(opt Options) *ReaderTimeline { return runReaderTimeline(opt, core.Ethernet) }

@@ -1,0 +1,154 @@
+package fsbuffer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file implements the alternative §5 discusses and argues against:
+// "a mechanism for allocating storage space independently of data
+// transfer, such as that found in NeST, SRB, and SRM". A reserving
+// producer asks an allocation server for space before writing, which
+// eliminates ENOSPC collisions entirely — but, exactly as the paper
+// observes, "it is [not] clear what allocation policy would be
+// appropriate when output sizes are not known. Further, the actual
+// process of allocation itself may be subject to contention."
+//
+// Because output size is unknown before the job runs, the reserving
+// producer must ask for the worst case (MaxFileSize) and return the
+// unused remainder only after the write completes. The slack between
+// reserved and actual bytes idles buffer capacity, so reservation trades
+// collisions for throughput — the quantitative form of the paper's
+// argument. BenchmarkBaselineReservation measures the trade.
+
+// ErrReservationDenied reports that the allocator had no space.
+var ErrReservationDenied = errors.New("allocation denied: no reservable space")
+
+// Allocator is a NeST/SRM-style space reservation service in front of a
+// Buffer. Reservations are bookkeeping only; the underlying buffer is
+// unchanged, so reserving and non-reserving producers can be mixed.
+type Allocator struct {
+	buf      *Buffer
+	reserved int64
+	// GrantTime models the allocation round trip; the allocation
+	// service is itself a shared resource and serializes requests.
+	GrantTime time.Duration
+	lane      *sim.Resource
+
+	// Grants and Denials count allocator outcomes.
+	Grants, Denials int64
+}
+
+// NewAllocator wraps buf with a reservation service.
+func NewAllocator(e *sim.Engine, buf *Buffer, grantTime time.Duration) *Allocator {
+	if grantTime <= 0 {
+		grantTime = 10 * time.Millisecond
+	}
+	return &Allocator{
+		buf:       buf,
+		GrantTime: grantTime,
+		lane:      sim.NewResource(e, "allocator", 1),
+	}
+}
+
+// Reserved reports bytes currently promised to clients.
+func (a *Allocator) Reserved() int64 { return a.reserved }
+
+// Reserve requests size bytes, waiting in the allocator's queue. On
+// success the caller owns the reservation and must End it.
+func (a *Allocator) Reserve(p *sim.Proc, ctx context.Context, size int64) (*Reservation, error) {
+	if err := a.lane.Acquire(p, ctx); err != nil {
+		return nil, err
+	}
+	defer a.lane.Release()
+	if err := p.Sleep(ctx, a.GrantTime); err != nil {
+		return nil, err
+	}
+	// Grant only space not already promised: reservations must never
+	// overcommit, or they would be no better than optimistic writing.
+	if a.buf.Free()-a.reserved < size {
+		a.Denials++
+		return nil, fmt.Errorf("%w (want %d, unreserved free %d)", ErrReservationDenied, size, a.buf.Free()-a.reserved)
+	}
+	a.reserved += size
+	a.Grants++
+	return &Reservation{alloc: a, size: size}, nil
+}
+
+// Reservation is a granted slice of future buffer space.
+type Reservation struct {
+	alloc *Allocator
+	size  int64
+	ended bool
+}
+
+// Size reports the reserved byte count.
+func (r *Reservation) Size() int64 { return r.size }
+
+// End releases the reservation (after the write completed or failed).
+func (r *Reservation) End() {
+	if r.ended {
+		return
+	}
+	r.ended = true
+	r.alloc.reserved -= r.size
+	if r.alloc.reserved < 0 {
+		panic("fsbuffer: reservation underflow")
+	}
+}
+
+// ReservingProducer is the baseline client: reserve worst-case space,
+// then write without fear of ENOSPC.
+type ReservingProducer struct {
+	// Wrote counts completed files; Denied counts files dropped because
+	// the allocator had no space within the retry budget.
+	Wrote, Denied int64
+}
+
+// Loop produces files until ctx is canceled. Each file first obtains a
+// worst-case reservation (retrying with Aloha backoff on denial — the
+// allocation service gives a clean failure signal, so carrier sense
+// adds nothing), then writes under its protection.
+func (rp *ReservingProducer) Loop(p *sim.Proc, ctx context.Context, a *Allocator, id int, cfg ProducerConfig) {
+	seq := 0
+	for ctx.Err() == nil {
+		size := int64(p.Rand() * float64(cfg.MaxFileSize))
+		if size < 1 {
+			size = 1
+		}
+		seq++
+		name := fmt.Sprintf("r%d-%d", id, seq)
+		var res *Reservation
+		err := core.Try(ctx, p, core.For(cfg.TryLimit), core.TryConfig{}, func(ctx context.Context) error {
+			var rerr error
+			// Output size is unknown before the job runs: reserve the
+			// worst case.
+			res, rerr = a.Reserve(p, ctx, cfg.MaxFileSize)
+			return rerr
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			rp.Denied++
+		} else {
+			werr := a.buf.Write(p, ctx, name, size)
+			res.End()
+			if werr == nil {
+				rp.Wrote++
+			} else if ctx.Err() != nil {
+				return
+			}
+		}
+		if cfg.Interval > 0 {
+			if p.Sleep(ctx, cfg.Interval) != nil {
+				return
+			}
+		}
+	}
+}

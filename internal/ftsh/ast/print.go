@@ -1,0 +1,260 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/ftsh/token"
+)
+
+// Fprint writes a canonical source rendering of the script to w. The
+// output re-parses to an equivalent tree (modulo comments, which the
+// lexer discards), which makes Fprint useful for debugging,
+// canonicalization, and the shell's -dump mode.
+func Fprint(w io.Writer, s *Script) error {
+	p := &printer{w: w}
+	p.block(s.Body, 0)
+	return p.err
+}
+
+// String renders the script to a string.
+func String(s *Script) string {
+	var b strings.Builder
+	_ = Fprint(&b, s)
+	return b.String()
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) line(indent int, format string, args ...any) {
+	p.printf("%s", strings.Repeat("  ", indent))
+	p.printf(format, args...)
+	p.printf("\n")
+}
+
+func (p *printer) block(b *Block, indent int) {
+	for _, st := range b.Stmts {
+		p.stmt(st, indent)
+	}
+}
+
+func (p *printer) stmt(st Stmt, indent int) {
+	switch st := st.(type) {
+	case *CommandStmt:
+		var parts []string
+		for _, w := range st.Words {
+			parts = append(parts, wordSrc(w))
+		}
+		for _, r := range st.Redirs {
+			parts = append(parts, r.Op.String(), wordSrc(r.Target))
+		}
+		p.line(indent, "%s", strings.Join(parts, " "))
+	case *AssignStmt:
+		var vals []string
+		for _, v := range st.Values {
+			vals = append(vals, wordSrc(v))
+		}
+		p.line(indent, "%s=%s", st.Name, strings.Join(vals, " "))
+	case *TryStmt:
+		p.line(indent, "try %s", limitSrc(st.Limit))
+		p.block(st.Body, indent+1)
+		if st.Catch != nil {
+			p.line(indent, "catch")
+			p.block(st.Catch, indent+1)
+		}
+		p.line(indent, "end")
+	case *ForanyStmt:
+		p.loop("forany", st.Var, st.List, st.Body, indent)
+	case *ForallStmt:
+		p.loop("forall", st.Var, st.List, st.Body, indent)
+	case *ForStmt:
+		p.loop("for", st.Var, st.List, st.Body, indent)
+	case *WhileStmt:
+		p.line(indent, "while %s", condSrc(st.Cond))
+		p.block(st.Body, indent+1)
+		p.line(indent, "end")
+	case *IfStmt:
+		p.line(indent, "if %s", condSrc(st.Cond))
+		p.block(st.Then, indent+1)
+		for _, e := range st.Elifs {
+			p.line(indent, "elif %s", condSrc(e.Cond))
+			p.block(e.Body, indent+1)
+		}
+		if st.Else != nil {
+			p.line(indent, "else")
+			p.block(st.Else, indent+1)
+		}
+		p.line(indent, "end")
+	case *FailureStmt:
+		p.line(indent, "failure")
+	case *SuccessStmt:
+		p.line(indent, "success")
+	case *FunctionStmt:
+		p.line(indent, "function %s", st.Name)
+		p.block(st.Body, indent+1)
+		p.line(indent, "end")
+	default:
+		p.line(indent, "# unknown statement %T", st)
+	}
+}
+
+func (p *printer) loop(kw, varName string, list []*Word, body *Block, indent int) {
+	var items []string
+	for _, w := range list {
+		items = append(items, wordSrc(w))
+	}
+	p.line(indent, "%s %s in %s", kw, varName, strings.Join(items, " "))
+	p.block(body, indent+1)
+	p.line(indent, "end")
+}
+
+// wordSrc renders a word as source text, segment by segment, so the
+// result re-lexes to the same segments with the same quoting: quoted
+// literal runs are emitted inside double quotes, unquoted runs are
+// emitted bare with backslash escapes where a character would otherwise
+// change the lexing.
+func wordSrc(w *Word) string {
+	if w == nil || len(w.Segs) == 0 {
+		return `""`
+	}
+	// First decide each literal segment's effective output quoting
+	// (control whitespace cannot be escaped outside quotes, so such
+	// segments are promoted), then merge adjacent literals that end up
+	// with the same quoting — the lexer would merge them on re-parse,
+	// so printing must too or it would not be stable.
+	type outSeg struct {
+		kind   token.SegKind
+		text   string
+		quoted bool
+	}
+	var norm []outSeg
+	for _, seg := range w.Segs {
+		if seg.Kind == token.SegVar {
+			norm = append(norm, outSeg{kind: token.SegVar, text: seg.Text})
+			continue
+		}
+		q := seg.Quoted || seg.Text == "" || strings.ContainsAny(seg.Text, "\n\t\r")
+		if n := len(norm); n > 0 && norm[n-1].kind == token.SegLit && norm[n-1].quoted == q {
+			norm[n-1].text += seg.Text
+			continue
+		}
+		norm = append(norm, outSeg{kind: token.SegLit, text: seg.Text, quoted: q})
+	}
+	// A word like `foran''y` merges to the bare text of a keyword; it
+	// was not a keyword originally (part of it was quoted), so it must
+	// not be printed bare or it would re-parse as one.
+	if len(norm) == 1 && norm[0].kind == token.SegLit && !norm[0].quoted &&
+		w.Quoted && (token.Keywords[norm[0].text] || norm[0].text == "or") {
+		norm[0].quoted = true
+	}
+
+	var b strings.Builder
+	for _, seg := range norm {
+		if seg.kind == token.SegVar {
+			b.WriteString("${")
+			b.WriteString(seg.text)
+			b.WriteString("}")
+			continue
+		}
+		// Iterate bytes, not runes: words may carry arbitrary bytes and
+		// must round-trip exactly.
+		if seg.quoted {
+			b.WriteByte('"')
+			for i := 0; i < len(seg.text); i++ {
+				c := seg.text[i]
+				switch c {
+				case '"', '\\', '$':
+					b.WriteByte('\\')
+					b.WriteByte(c)
+				case '\n':
+					b.WriteString(`\n`)
+				case '\t':
+					b.WriteString(`\t`)
+				default:
+					b.WriteByte(c)
+				}
+			}
+			b.WriteByte('"')
+		} else {
+			for i := 0; i < len(seg.text); i++ {
+				c := seg.text[i]
+				switch c {
+				case ' ', '"', '\'', '#', ';', '<', '>', '$', '\\':
+					b.WriteByte('\\')
+					b.WriteByte(c)
+				default:
+					b.WriteByte(c)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// limitSrc renders a try budget.
+func limitSrc(l LimitSpec) string {
+	var parts []string
+	if l.HasTime {
+		parts = append(parts, "for "+durationSrc(l.Time))
+	}
+	if l.HasAttempts {
+		parts = append(parts, fmt.Sprintf("%d times", l.Attempts))
+	}
+	s := strings.Join(parts, " or ")
+	if l.Every > 0 {
+		s += " every " + durationSrc(l.Every)
+	}
+	return s
+}
+
+// durationSrc renders a duration in the largest exact ftsh unit.
+func durationSrc(d time.Duration) string {
+	type unit struct {
+		d    time.Duration
+		name string
+	}
+	units := []unit{
+		{24 * time.Hour, "days"},
+		{time.Hour, "hours"},
+		{time.Minute, "minutes"},
+		{time.Second, "seconds"},
+		{time.Millisecond, "ms"},
+	}
+	for _, u := range units {
+		if d >= u.d && d%u.d == 0 {
+			n := d / u.d
+			name := u.name
+			if n == 1 && name != "ms" {
+				name = strings.TrimSuffix(name, "s")
+			}
+			return fmt.Sprintf("%d %s", n, name)
+		}
+	}
+	return fmt.Sprintf("%g seconds", d.Seconds())
+}
+
+// condSrc renders a condition.
+func condSrc(c *Cond) string {
+	if c.IsLit {
+		if c.Lit {
+			return "true"
+		}
+		return "false"
+	}
+	if c.Op == ".exists." {
+		return fmt.Sprintf(".exists. %s", wordSrc(c.Right))
+	}
+	return fmt.Sprintf("%s %s %s", wordSrc(c.Left), c.Op, wordSrc(c.Right))
+}

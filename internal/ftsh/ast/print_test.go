@@ -1,0 +1,218 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ftsh/ast"
+	"repro/internal/ftsh/parser"
+)
+
+// reparse asserts that printing and re-parsing a script converges: the
+// second print must equal the first (print∘parse is idempotent on
+// printed output).
+func reparse(t *testing.T, src string) string {
+	t.Helper()
+	s1, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out1 := ast.String(s1)
+	s2, err := parser.Parse(out1)
+	if err != nil {
+		t.Fatalf("re-parse of printed output failed: %v\nprinted:\n%s", err, out1)
+	}
+	out2 := ast.String(s2)
+	if out1 != out2 {
+		t.Fatalf("print not stable:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+	}
+	return out1
+}
+
+func TestPrintSimpleCommand(t *testing.T) {
+	out := reparse(t, "wget http://server/file.tar.gz\n")
+	if !strings.Contains(out, "wget http://server/file.tar.gz") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPrintPaperNestedTry(t *testing.T) {
+	src := `try for 30 minutes
+  try for 5 minutes
+    wget http://server/file.tar.gz
+  end
+  try for 1 minute or 3 times
+    gunzip file.tar.gz
+    tar xvf file.tar
+  end
+end
+`
+	out := reparse(t, src)
+	for _, want := range []string{"try for 30 minutes", "try for 5 minutes", "try for 1 minute or 3 times"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestPrintTryCatch(t *testing.T) {
+	out := reparse(t, "try 5 times\n  wget x\ncatch\n  rm -f x\n  failure\nend\n")
+	if !strings.Contains(out, "catch") || !strings.Contains(out, "failure") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPrintLoopsAndConds(t *testing.T) {
+	src := `forany server in xxx yyy zzz
+  wget http://${server}/f
+end
+forall f in a b
+  get ${f}
+end
+for i in 1 2 3
+  echo ${i}
+end
+while ${n} .lt. 10
+  expr ${n} + 1 -> n
+end
+if ${x} .eql. ok
+  echo yes
+elif ${x} .eq. 2
+  echo two
+else
+  echo no
+end
+`
+	out := reparse(t, src)
+	for _, want := range []string{"forany server in xxx yyy zzz", "forall f in a b",
+		"while ${n} .lt. 10", "elif ${x} .eq. 2", "-> n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestPrintQuotedWords(t *testing.T) {
+	out := reparse(t, `echo "hello world" "a\"b" "got ${x}!"
+`)
+	if !strings.Contains(out, `"hello world"`) {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPrintAssignAndFunctions(t *testing.T) {
+	src := `servers=xxx yyy zzz
+function fetch
+  wget http://${1}/data
+end
+fetch ${servers}
+success
+`
+	out := reparse(t, src)
+	if !strings.Contains(out, "servers=xxx yyy zzz") || !strings.Contains(out, "function fetch") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPrintRedirections(t *testing.T) {
+	out := reparse(t, "run >& log.txt\ncat < in.txt > out.txt\nsim ->& tmp\ncat -< tmp ->> all\n")
+	for _, want := range []string{">& log.txt", "< in.txt", "> out.txt", "->& tmp", "-< tmp", "->> all"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestPrintDurationUnits(t *testing.T) {
+	out := reparse(t, "try for 2 days\n x\nend\ntry for 90 seconds\n x\nend\ntry for 250 ms\n x\nend\n")
+	for _, want := range []string{"try for 2 days", "try for 90 seconds", "try for 250 ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestWordLit(t *testing.T) {
+	s, err := parser.Parse("echo plain ${v} mix${v}ed\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := s.Body.Stmts[0].(*ast.CommandStmt)
+	if lit, ok := cmd.Words[1].Lit(); !ok || lit != "plain" {
+		t.Fatalf("Lit = %q ok=%v", lit, ok)
+	}
+	if _, ok := cmd.Words[2].Lit(); ok {
+		t.Fatal("var word reported as literal")
+	}
+	if _, ok := cmd.Words[3].Lit(); ok {
+		t.Fatal("mixed word reported as literal")
+	}
+}
+
+func TestPrintExistsCond(t *testing.T) {
+	out := reparse(t, "if .exists. data/input\n  ok\nend\n")
+	if !strings.Contains(out, ".exists. data/input") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPrintEveryClause(t *testing.T) {
+	out := reparse(t, "try for 1 hour or 3 times every 30 seconds\n  x\nend\n")
+	if !strings.Contains(out, "try for 1 hour or 3 times every 30 seconds") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPrintEscapesSpecialBytes(t *testing.T) {
+	// Unquoted escapes survive the round trip.
+	out := reparse(t, `echo a\ b \"x\" \$y \#z \;w \<v \>u back\\slash
+`)
+	for _, want := range []string{`a\ b`, `\"x\"`, `\$y`, `\#z`, `\;w`, `\<v`, `\>u`, `back\\slash`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestPrintMixedQuotingMerges(t *testing.T) {
+	// Adjacent runs that end with the same effective quoting merge, and
+	// the printed form is stable (verified by reparse); a keyword
+	// assembled from quoted pieces must stay non-keyword.
+	for _, src := range []string{
+		"foran''y\n",
+		"tr'y' x\n",
+		"e'nd'\n",
+		"pre'quoted mid'post\n",
+		"a\\\tb\n",
+		`"or"` + "\n",
+	} {
+		reparse(t, src)
+	}
+}
+
+func TestPrintHandlesRawBytes(t *testing.T) {
+	// Non-UTF8 bytes round-trip exactly.
+	reparse(t, "echo \"\xb9\xff\" ${\xb9}\n")
+}
+
+func TestPrintProgrammaticNilAndEmptyWords(t *testing.T) {
+	w := &ast.Word{}
+	cmd := &ast.CommandStmt{Words: []*ast.Word{{Segs: nil, Quoted: true}}}
+	s := &ast.Script{Body: &ast.Block{Stmts: []ast.Stmt{cmd}}}
+	out := ast.String(s)
+	if !strings.Contains(out, `""`) {
+		t.Fatalf("out = %q", out)
+	}
+	_ = w
+}
+
+func TestPrintSuccessFailureStatements(t *testing.T) {
+	out := reparse(t, "failure\n")
+	if !strings.Contains(out, "failure") {
+		t.Fatalf("out = %q", out)
+	}
+	out = reparse(t, "success\n")
+	if !strings.Contains(out, "success") {
+		t.Fatalf("out = %q", out)
+	}
+}

@@ -1,0 +1,331 @@
+package interp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/ast"
+	"repro/internal/ftsh/token"
+)
+
+// execCommand expands, resolves redirections, and dispatches a command
+// to a function, builtin, or the Runner.
+func (in *Interp) execCommand(ctx context.Context, st *ast.CommandStmt) error {
+	argv, err := in.expandList(st.Words)
+	if err != nil {
+		return &PosError{Pos: st.Pos(), Err: err}
+	}
+	if len(argv) == 0 {
+		return &PosError{Pos: st.Pos(), Err: errors.New("command expanded to nothing")}
+	}
+
+	io_, finish, err := in.setupRedirs(st.Redirs)
+	if err != nil {
+		_ = finish() // release any redirection targets opened before the error
+		return &PosError{Pos: st.Pos(), Err: err}
+	}
+
+	runErr := in.dispatch(ctx, argv, io_)
+	// Redirection targets (variables, files) are finalized regardless of
+	// the command's outcome, matching shell behaviour.
+	if ferr := finish(); ferr != nil && runErr == nil {
+		runErr = ferr
+	}
+	if runErr != nil && !errors.Is(runErr, errSuccess) {
+		in.logf("command %s failed: %v", argv[0], runErr)
+		return &PosError{Pos: st.Pos(), Err: runErr}
+	}
+	return runErr
+}
+
+// cmdIO is the resolved I/O plumbing for one command.
+type cmdIO struct {
+	stdin          io.Reader
+	stdout, stderr io.Writer
+}
+
+// setupRedirs resolves redirections into readers/writers plus a finish
+// function that flushes variable captures and closes files.
+func (in *Interp) setupRedirs(redirs []*ast.Redir) (*cmdIO, func() error, error) {
+	io_ := &cmdIO{
+		stdin:  strings.NewReader(""),
+		stdout: in.cfg.Stdout,
+		stderr: in.cfg.Stderr,
+	}
+	if io_.stdout == nil {
+		io_.stdout = io.Discard
+	}
+	if io_.stderr == nil {
+		io_.stderr = io.Discard
+	}
+	var finishers []func() error
+	finish := func() error {
+		var first error
+		for _, f := range finishers {
+			if err := f(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	for _, r := range redirs {
+		target, err := in.expandWord(r.Target)
+		if err != nil {
+			return nil, finish, err
+		}
+		switch r.Op {
+		case token.GT, token.GTGT, token.GTAMP:
+			if in.cfg.FS == nil {
+				return nil, finish, fmt.Errorf("file redirection %s unavailable (no filesystem)", r.Op)
+			}
+			w, err := in.cfg.FS.OpenWrite(target, r.Op == token.GTGT)
+			if err != nil {
+				return nil, finish, err
+			}
+			finishers = append(finishers, w.Close)
+			io_.stdout = w
+			if r.Op == token.GTAMP {
+				io_.stderr = w
+			}
+		case token.LT:
+			if in.cfg.FS == nil {
+				return nil, finish, fmt.Errorf("file redirection < unavailable (no filesystem)")
+			}
+			rd, err := in.cfg.FS.OpenRead(target)
+			if err != nil {
+				return nil, finish, err
+			}
+			finishers = append(finishers, rd.Close)
+			io_.stdin = rd
+		case token.DASHGT, token.DASHGTGT, token.DASHGTAMP:
+			name := target
+			var buf bytes.Buffer
+			if r.Op == token.DASHGTGT && in.vars[name] != "" {
+				// Re-insert the newline stripped by the previous capture
+				// so appended records stay line-separated.
+				buf.WriteString(in.vars[name])
+				buf.WriteByte('\n')
+			}
+			io_.stdout = &buf
+			if r.Op == token.DASHGTAMP {
+				io_.stderr = &buf
+			}
+			finishers = append(finishers, func() error {
+				// ftsh strips the trailing newline when capturing into a
+				// variable, so `cut ... -> n` compares cleanly.
+				in.vars[name] = strings.TrimRight(buf.String(), "\n")
+				return nil
+			})
+		case token.DASHLT:
+			io_.stdin = strings.NewReader(in.vars[target])
+		default:
+			return nil, finish, fmt.Errorf("unsupported redirection %v", r.Op)
+		}
+	}
+	return io_, finish, nil
+}
+
+// dispatch routes argv to a shell function, a builtin, or the Runner.
+func (in *Interp) dispatch(ctx context.Context, argv []string, io_ *cmdIO) error {
+	name := argv[0]
+	if fn, ok := in.fns[name]; ok {
+		return in.callFunction(ctx, fn, argv[1:])
+	}
+	if bi, ok := builtins[name]; ok {
+		return bi(ctx, in, argv[1:], io_)
+	}
+	in.logf("exec %s", strings.Join(argv, " "))
+	err := in.cfg.Runner.Run(ctx, in.cfg.Runtime, &Command{
+		Name:   name,
+		Args:   argv[1:],
+		Stdin:  io_.stdin,
+		Stdout: io_.stdout,
+		Stderr: io_.stderr,
+	})
+	in.stats.recordCommand(name, err != nil)
+	return err
+}
+
+// builtin is an internal command. Builtins exist for operations that
+// must interact with the interpreter state or the virtual clock.
+type builtin func(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error
+
+var builtins map[string]builtin
+
+func init() {
+	// Initialized in init to avoid an initialization cycle through the
+	// help builtin referencing the table itself.
+	builtins = map[string]builtin{
+		"echo":  biEcho,
+		"true":  biTrue,
+		"false": biFalse,
+		"sleep": biSleep,
+		"expr":  biExpr,
+		"cat":   biCat,
+		"rm":    biRm,
+	}
+}
+
+// biRm removes files through the FS abstraction. With -f, missing files
+// are not an error — the idempotence §4 demands of repeated actions
+// ("the rm command used above is given the -f option to instruct it to
+// return success if the named file does not exist").
+func biRm(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error {
+	force := false
+	if len(args) > 0 && args[0] == "-f" {
+		force = true
+		args = args[1:]
+	}
+	if len(args) == 0 {
+		return errors.New("rm: missing operand")
+	}
+	type remover interface{ Remove(name string) }
+	type statter interface {
+		ReadFile(name string) ([]byte, bool)
+	}
+	switch fs := in.cfg.FS.(type) {
+	case *MemFS:
+		for _, name := range args {
+			if _, ok := fs.ReadFile(name); !ok && !force {
+				return fmt.Errorf("rm: %s: no such file", name)
+			}
+			fs.Remove(name)
+		}
+		return nil
+	case OSFS:
+		for _, name := range args {
+			if err := osRemove(name); err != nil && !force {
+				return fmt.Errorf("rm: %w", err)
+			}
+		}
+		return nil
+	case nil:
+		return errors.New("rm: no filesystem available")
+	default:
+		// Custom FS implementations may support removal.
+		rm, ok := in.cfg.FS.(remover)
+		if !ok {
+			return errors.New("rm: filesystem does not support removal")
+		}
+		if st, ok := in.cfg.FS.(statter); ok && !force {
+			for _, name := range args {
+				if _, exists := st.ReadFile(name); !exists {
+					return fmt.Errorf("rm: %s: no such file", name)
+				}
+			}
+		}
+		for _, name := range args {
+			rm.Remove(name)
+		}
+		return nil
+	}
+}
+
+// biEcho writes its arguments to stdout separated by spaces.
+func biEcho(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error {
+	_, err := fmt.Fprintln(io_.stdout, strings.Join(args, " "))
+	return err
+}
+
+// biTrue succeeds.
+func biTrue(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error { return nil }
+
+// biFalse fails.
+func biFalse(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error {
+	return core.ErrFailure
+}
+
+// biSleep pauses in runtime time: `sleep 5`, `sleep 0.25`, `sleep 500ms`.
+// Under the simulator this advances the virtual clock.
+func biSleep(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error {
+	if len(args) != 1 {
+		return errors.New("sleep: want exactly one duration argument")
+	}
+	d, err := durationArg(args[0])
+	if err != nil {
+		return fmt.Errorf("sleep: %w", err)
+	}
+	return in.cfg.Runtime.Sleep(ctx, d)
+}
+
+// biExpr evaluates a left-to-right arithmetic expression and prints the
+// result: `expr ${n} + 1 -> n`. Supported operators: + - * / %.
+func biExpr(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error {
+	if len(args) == 0 || len(args)%2 == 0 {
+		return errors.New("expr: want `value (op value)...`")
+	}
+	acc, err := strconv.ParseFloat(args[0], 64)
+	if err != nil {
+		return fmt.Errorf("expr: bad operand %q", args[0])
+	}
+	for i := 1; i < len(args); i += 2 {
+		rhs, err := strconv.ParseFloat(args[i+1], 64)
+		if err != nil {
+			return fmt.Errorf("expr: bad operand %q", args[i+1])
+		}
+		switch args[i] {
+		case "+":
+			acc += rhs
+		case "-":
+			acc -= rhs
+		case "*":
+			acc *= rhs
+		case "/":
+			if rhs == 0 {
+				return errors.New("expr: division by zero")
+			}
+			acc /= rhs
+		case "%":
+			if int64(rhs) == 0 {
+				return errors.New("expr: modulo by zero")
+			}
+			acc = float64(int64(acc) % int64(rhs))
+		default:
+			return fmt.Errorf("expr: unknown operator %q", args[i])
+		}
+	}
+	if acc == float64(int64(acc)) {
+		fmt.Fprintln(io_.stdout, strconv.FormatInt(int64(acc), 10))
+	} else {
+		fmt.Fprintln(io_.stdout, strconv.FormatFloat(acc, 'g', -1, 64))
+	}
+	return nil
+}
+
+// biCat copies stdin to stdout, enabling the paper's
+//
+//	try 5 times
+//	  run-simulation ->& tmp
+//	end
+//	cat -< tmp
+//
+// I/O-transaction idiom without an external cat.
+func biCat(ctx context.Context, in *Interp, args []string, io_ *cmdIO) error {
+	if len(args) > 0 {
+		// `cat file...` still goes through the FS abstraction.
+		if in.cfg.FS == nil {
+			return errors.New("cat: no filesystem available")
+		}
+		for _, name := range args {
+			r, err := in.cfg.FS.OpenRead(name)
+			if err != nil {
+				return err
+			}
+			_, cerr := io.Copy(io_.stdout, r)
+			r.Close()
+			if cerr != nil {
+				return cerr
+			}
+		}
+		return nil
+	}
+	_, err := io.Copy(io_.stdout, io_.stdin)
+	return err
+}

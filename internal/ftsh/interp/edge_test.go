@@ -1,0 +1,321 @@
+package interp_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+	"repro/internal/sim"
+)
+
+func TestBuiltinsTrueFalse(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "true\n", nil); err != nil {
+		t.Fatalf("true failed: %v", err)
+	}
+	if err := w.run(t, "false\n", nil); err == nil {
+		t.Fatal("false succeeded")
+	}
+}
+
+func TestBuiltinSleepErrors(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "sleep\n", nil); err == nil {
+		t.Fatal("sleep with no args succeeded")
+	}
+	if err := w.run(t, "sleep abc\n", nil); err == nil {
+		t.Fatal("sleep with bad duration succeeded")
+	}
+	if err := w.run(t, "sleep 250ms\n", nil); err != nil {
+		t.Fatalf("go-style duration rejected: %v", err)
+	}
+}
+
+func TestBuiltinExprFull(t *testing.T) {
+	w := newWorld(1)
+	src := `expr 10 - 3 -> a
+expr ${a} * 4 -> b
+expr ${b} / 2 -> c
+expr ${c} % 4 -> d
+expr 1.5 + 1 -> e
+echo ${a} ${b} ${c} ${d} ${e}
+`
+	if err := w.run(t, src, nil); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(w.out.String(), "7 28 14 2 2.5") {
+		t.Fatalf("out = %q", w.out.String())
+	}
+}
+
+func TestBuiltinExprErrors(t *testing.T) {
+	w := newWorld(1)
+	for _, src := range []string{
+		"expr\n",          // no args
+		"expr 1 +\n",      // missing operand
+		"expr 1 + pear\n", // bad operand
+		"expr pear + 1\n", // bad first operand
+		"expr 1 ? 2\n",    // unknown operator
+		"expr 1 / 0\n",    // division by zero
+		"expr 1 % 0\n",    // modulo by zero
+	} {
+		if err := w.run(t, src, nil); err == nil {
+			t.Errorf("%q succeeded", src)
+		}
+	}
+}
+
+func TestCatMissingFile(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "cat missing.txt\n", nil); err == nil {
+		t.Fatal("cat of missing file succeeded")
+	}
+}
+
+func TestStdinRedirectionMissingFile(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "cat < nope.txt\n", nil); err == nil {
+		t.Fatal("redirect from missing file succeeded")
+	}
+}
+
+func TestFileRedirectionWithoutFS(t *testing.T) {
+	w := newWorld(1)
+	err := w.run(t, "echo x > f\n", func(cfg *interp.Config) { cfg.FS = nil })
+	if err == nil || !strings.Contains(err.Error(), "redirection") {
+		t.Fatalf("err = %v", err)
+	}
+	err = w.run(t, "cat < f\n", func(cfg *interp.Config) { cfg.FS = nil })
+	if err == nil {
+		t.Fatal("read redirection without FS succeeded")
+	}
+}
+
+func TestEmptyCommandAfterExpansion(t *testing.T) {
+	w := newWorld(1)
+	err := w.run(t, "${nothing}\n", nil)
+	if err == nil || !strings.Contains(err.Error(), "expanded to nothing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPositionalParamEdgeCases(t *testing.T) {
+	w := newWorld(1)
+	var out string
+	w.eng.Spawn("script", func(p *sim.Proc) {
+		in := interp.New(interp.Config{Runner: w.runner, Runtime: p, Stdout: &w.out})
+		in.SetArgs([]string{"one", "two"})
+		if err := in.RunSource(w.eng.Context(), "echo [${1}] [${3}] [$*] [$#]\n"); err != nil {
+			t.Errorf("err = %v", err)
+		}
+		out = w.out.String()
+	})
+	if err := w.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[one] [] [one two] [2]") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestInvalidPositionalZero(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "echo ${0}\n", nil); err == nil {
+		t.Fatal("$0 accepted")
+	}
+}
+
+func TestForEmptyListViaVariable(t *testing.T) {
+	w := newWorld(1)
+	// ${empty} expands to no fields: for runs zero iterations and
+	// succeeds; forany with an empty list fails (no alternative won).
+	if err := w.run(t, "for x in ${empty}\n  false\nend\n", nil); err != nil {
+		t.Fatalf("empty for failed: %v", err)
+	}
+	if err := w.run(t, "forany x in ${empty}\n  true\nend\n", nil); err == nil {
+		t.Fatal("empty forany succeeded")
+	}
+}
+
+func TestForallEmptyListSucceeds(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "forall x in ${empty}\n  false\nend\n", nil); err != nil {
+		t.Fatalf("empty forall failed: %v", err)
+	}
+}
+
+func TestWhileConditionErrorFailsLoop(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "while pear .lt. 3\n  true\nend\n", nil); err == nil {
+		t.Fatal("bad while condition succeeded")
+	}
+}
+
+func TestWhileBodyFailureFailsLoop(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "n=0\nwhile ${n} .lt. 3\n  false\nend\n", nil); err == nil {
+		t.Fatal("failing body did not fail the while")
+	}
+}
+
+func TestElifConditionError(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "if 1 .eq. 2\n  a\nelif pear .lt. 1\n  b\nend\n", nil); err == nil {
+		t.Fatal("bad elif condition succeeded")
+	}
+}
+
+func TestWhileHonorsContextCancel(t *testing.T) {
+	w := newWorld(1)
+	w.eng.Schedule(time.Minute, func() {}) // keep engine alive
+	var err error
+	w.eng.Spawn("script", func(p *sim.Proc) {
+		ctx, cancel := p.WithTimeout(w.eng.Context(), 10*time.Second)
+		defer cancel()
+		in := interp.New(interp.Config{Runner: w.runner, Runtime: p, Stdout: &w.out})
+		err = in.RunSource(ctx, "while true\n  sleep 1\nend\n")
+	})
+	if runErr := w.eng.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err == nil {
+		t.Fatal("infinite while survived cancellation")
+	}
+}
+
+func TestRunSourceParseError(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "try for 3 bogons\nx\nend\n", nil); err == nil {
+		t.Fatal("parse error not reported")
+	}
+}
+
+func TestNewPanicsWithoutRunnerOrRuntime(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("no runner", func() {
+		interp.New(interp.Config{Runtime: core.NewReal(1)})
+	})
+	assertPanics("no runtime", func() {
+		w := newWorld(1)
+		interp.New(interp.Config{Runner: w.runner})
+	})
+}
+
+func TestMemFSOperations(t *testing.T) {
+	fs := interp.NewMemFS()
+	fs.WriteFile("a", []byte("1"))
+	fs.WriteFile("b", []byte("2"))
+	if names := fs.Names(); len(names) != 2 || names[0] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+	fs.Remove("a")
+	fs.Remove("a") // rm -f semantics
+	if _, ok := fs.ReadFile("a"); ok {
+		t.Fatal("removed file still present")
+	}
+	// Write-after-close is rejected.
+	wtr, err := fs.OpenWrite("c", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wtr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wtr.Close(); err != nil { // double close ok
+		t.Fatal(err)
+	}
+	if _, err := wtr.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestRedirWithBadTargetExpansion(t *testing.T) {
+	w := newWorld(1)
+	// ${0} in a redirection target is an expansion error.
+	if err := w.run(t, "echo hi > ${0}\n", nil); err == nil {
+		t.Fatal("bad redirect target accepted")
+	}
+}
+
+func TestForanyListExpansionError(t *testing.T) {
+	w := newWorld(1)
+	if err := w.run(t, "forany x in ${0}\n  true\nend\n", nil); err == nil {
+		t.Fatal("bad list expansion accepted")
+	}
+}
+
+func TestContextCanceledBeforeRun(t *testing.T) {
+	w := newWorld(1)
+	var err error
+	w.eng.Spawn("script", func(p *sim.Proc) {
+		ctx, cancel := p.WithCancel(w.eng.Context())
+		cancel()
+		in := interp.New(interp.Config{Runner: w.runner, Runtime: p})
+		err = in.RunSource(ctx, "echo hi\n")
+	})
+	if runErr := w.eng.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRmBuiltin(t *testing.T) {
+	w := newWorld(1)
+	w.fs.WriteFile("a.tar.gz", []byte("x"))
+	// Plain rm of an existing file succeeds; of a missing file fails;
+	// -f is idempotent, as §4's catch example requires.
+	if err := w.run(t, "rm a.tar.gz\n", nil); err != nil {
+		t.Fatalf("rm existing: %v", err)
+	}
+	if _, ok := w.fs.ReadFile("a.tar.gz"); ok {
+		t.Fatal("file survived rm")
+	}
+	if err := w.run(t, "rm a.tar.gz\n", nil); err == nil {
+		t.Fatal("rm of missing file succeeded")
+	}
+	if err := w.run(t, "rm -f a.tar.gz\n", nil); err != nil {
+		t.Fatalf("rm -f missing: %v", err)
+	}
+	if err := w.run(t, "rm\n", nil); err == nil {
+		t.Fatal("rm with no operand succeeded")
+	}
+}
+
+func TestPaperCatchExampleVerbatim(t *testing.T) {
+	// §4's catch example, as printed in the paper.
+	w := newWorld(1)
+	gets := 0
+	w.runner.Register("wget", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		gets++
+		w.fs.WriteFile("file.tar.gz", []byte("partial")) // failed partial download
+		return core.ErrFailure
+	})
+	src := `try 5 times
+  wget http://server/file.tar.gz
+catch
+  rm -f file.tar.gz
+  failure
+end
+`
+	if err := w.run(t, src, nil); err == nil {
+		t.Fatal("script must fail after catch re-raises")
+	}
+	if gets != 5 {
+		t.Fatalf("gets = %d", gets)
+	}
+	if _, ok := w.fs.ReadFile("file.tar.gz"); ok {
+		t.Fatal("partial download not cleaned up by catch")
+	}
+}

@@ -1,0 +1,61 @@
+package interp_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Example runs the paper's nested-try fragment (§4) against simulated
+// commands in virtual time: the first fetch server hangs, the script
+// fails over and completes well inside its budgets.
+func Example() {
+	e := sim.New(1)
+	runner := proc.NewMapRunner()
+	runner.Register("wget", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		if cmd.Args[0] == "http://xxx/file.tar.gz" {
+			return rt.Sleep(ctx, 24*time.Hour) // black hole
+		}
+		return rt.Sleep(ctx, 10*time.Second)
+	})
+	runner.Register("gunzip", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		return rt.Sleep(ctx, time.Second)
+	})
+	runner.Register("tar", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		return rt.Sleep(ctx, 2*time.Second)
+	})
+
+	const script = `
+try for 30 minutes
+  forany server in xxx yyy zzz
+    try for 1 minute
+      wget http://${server}/file.tar.gz
+    end
+  end
+  try for 1 minute or 3 times
+    gunzip file.tar.gz
+    tar xvf file.tar
+  end
+end
+echo unpacked archive from ${server}
+`
+	e.Spawn("script", func(p *sim.Proc) {
+		in := interp.New(interp.Config{Runner: runner, Runtime: p, Stdout: os.Stdout})
+		if err := in.RunSource(e.Context(), script); err != nil {
+			fmt.Println("script failed:", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Printf("virtual time: %v\n", e.Elapsed())
+	// Output:
+	// unpacked archive from yyy
+	// virtual time: 1m13s
+}

@@ -1,0 +1,91 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ftsh/ast"
+	"repro/internal/ftsh/token"
+)
+
+// lookupVar resolves a variable reference, including the positional
+// parameters $1..$9, $* (all args space-joined), and $# (arg count) of
+// the current function frame. Unset variables expand to the empty
+// string, as in the Bourne shell.
+func (in *Interp) lookupVar(name string) (string, error) {
+	switch name {
+	case "*":
+		return strings.Join(in.args, " "), nil
+	case "#":
+		return strconv.Itoa(len(in.args)), nil
+	}
+	if n, err := strconv.Atoi(name); err == nil {
+		if n < 1 {
+			return "", fmt.Errorf("invalid positional parameter $%s", name)
+		}
+		if n <= len(in.args) {
+			return in.args[n-1], nil
+		}
+		return "", nil
+	}
+	return in.vars[name], nil
+}
+
+// expandWord expands a word to a single string (no splitting). A nil
+// word expands to "".
+func (in *Interp) expandWord(w *ast.Word) (string, error) {
+	if w == nil {
+		return "", nil
+	}
+	var b strings.Builder
+	for _, seg := range w.Segs {
+		switch seg.Kind {
+		case token.SegLit:
+			b.WriteString(seg.Text)
+		case token.SegVar:
+			v, err := in.lookupVar(seg.Text)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v)
+		}
+	}
+	return b.String(), nil
+}
+
+// expandFields expands a word into zero or more fields. An unquoted word
+// consisting of a single variable reference undergoes field splitting on
+// whitespace (so `forany s in ${servers}` iterates the list); all other
+// words expand to exactly one field, except that an unquoted word
+// expanding to "" produces no field.
+func (in *Interp) expandFields(w *ast.Word) ([]string, error) {
+	if !w.Quoted && len(w.Segs) == 1 && w.Segs[0].Kind == token.SegVar {
+		v, err := in.lookupVar(w.Segs[0].Text)
+		if err != nil {
+			return nil, err
+		}
+		return strings.Fields(v), nil
+	}
+	s, err := in.expandWord(w)
+	if err != nil {
+		return nil, err
+	}
+	if s == "" && !w.Quoted {
+		return nil, nil
+	}
+	return []string{s}, nil
+}
+
+// expandList expands a word list (command argv or loop alternatives).
+func (in *Interp) expandList(words []*ast.Word) ([]string, error) {
+	var out []string
+	for _, w := range words {
+		fs, err := in.expandFields(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}

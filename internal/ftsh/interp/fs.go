@@ -1,0 +1,124 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// OSFS adapts the host filesystem to the FS interface, for the real
+// shell.
+type OSFS struct{}
+
+// osRemove deletes a host file (separated for the rm builtin).
+func osRemove(name string) error { return os.Remove(name) }
+
+// OpenRead implements FS.
+func (OSFS) OpenRead(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// OpenWrite implements FS.
+func (OSFS) OpenWrite(name string, appendTo bool) (io.WriteCloser, error) {
+	flags := os.O_CREATE | os.O_WRONLY
+	if appendTo {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	return os.OpenFile(name, flags, 0o644)
+}
+
+// MemFS is an in-memory FS for simulations and tests. It is safe for
+// concurrent use by forall branches under the real runtime.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+// OpenRead implements FS.
+func (m *MemFS) OpenRead(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("open %s: file does not exist", name)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// OpenWrite implements FS.
+func (m *MemFS) OpenWrite(name string, appendTo bool) (io.WriteCloser, error) {
+	return &memFile{fs: m, name: name, appendTo: appendTo}, nil
+}
+
+// ReadFile returns a file's contents.
+func (m *MemFS) ReadFile(name string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	return b, ok
+}
+
+// WriteFile stores contents directly.
+func (m *MemFS) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = append([]byte(nil), data...)
+}
+
+// Remove deletes a file; missing files are ignored (rm -f semantics).
+func (m *MemFS) Remove(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+}
+
+// Names lists stored file names, sorted.
+func (m *MemFS) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for k := range m.files {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// memFile buffers writes and commits on Close.
+type memFile struct {
+	fs       *MemFS
+	name     string
+	appendTo bool
+	buf      bytes.Buffer
+	closed   bool
+}
+
+// Write implements io.Writer.
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("write %s: file closed", f.name)
+	}
+	return f.buf.Write(p)
+}
+
+// Close commits the buffered contents.
+func (f *memFile) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.appendTo {
+		f.fs.files[f.name] = append(f.fs.files[f.name], f.buf.Bytes()...)
+	} else {
+		f.fs.files[f.name] = append([]byte(nil), f.buf.Bytes()...)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package interp_test
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/ast"
+	"repro/internal/ftsh/interp"
+	"repro/internal/ftsh/parser"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// genScript emits a random, always-terminating ftsh program: nested
+// try/forany/forall/for/if over the commands ok, fail, and flaky.
+// While loops are excluded (they could be infinite); try budgets are
+// attempt-bounded so exhaustion is guaranteed to terminate.
+func genScript(rng *rand.Rand, depth int) string {
+	var b strings.Builder
+	genBlock(rng, &b, depth, 1+rng.Intn(3))
+	return b.String()
+}
+
+func genBlock(rng *rand.Rand, b *strings.Builder, depth, stmts int) {
+	for i := 0; i < stmts; i++ {
+		genStmt(rng, b, depth)
+	}
+}
+
+func genStmt(rng *rand.Rand, b *strings.Builder, depth int) {
+	if depth <= 0 {
+		genLeaf(rng, b)
+		return
+	}
+	switch rng.Intn(8) {
+	case 0:
+		b.WriteString("try ")
+		if rng.Intn(2) == 0 {
+			b.WriteString("2 times\n")
+		} else {
+			b.WriteString("for 1 hour or 3 times\n")
+		}
+		genBlock(rng, b, depth-1, 1+rng.Intn(2))
+		if rng.Intn(2) == 0 {
+			b.WriteString("catch\n")
+			genBlock(rng, b, depth-1, 1)
+		}
+		b.WriteString("end\n")
+	case 1:
+		b.WriteString("forany v in a b c\n")
+		genBlock(rng, b, depth-1, 1+rng.Intn(2))
+		b.WriteString("end\n")
+	case 2:
+		b.WriteString("forall v in x y\n")
+		genBlock(rng, b, depth-1, 1)
+		b.WriteString("end\n")
+	case 3:
+		b.WriteString("for v in 1 2 3\n")
+		genBlock(rng, b, depth-1, 1)
+		b.WriteString("end\n")
+	case 4:
+		b.WriteString("if ${v} .eql. a\n")
+		genBlock(rng, b, depth-1, 1)
+		if rng.Intn(2) == 0 {
+			b.WriteString("else\n")
+			genBlock(rng, b, depth-1, 1)
+		}
+		b.WriteString("end\n")
+	case 5:
+		b.WriteString("n=")
+		b.WriteString([]string{"1", "2", "hello"}[rng.Intn(3)])
+		b.WriteByte('\n')
+	default:
+		genLeaf(rng, b)
+	}
+}
+
+func genLeaf(rng *rand.Rand, b *strings.Builder) {
+	switch rng.Intn(6) {
+	case 0:
+		b.WriteString("ok\n")
+	case 1:
+		b.WriteString("flaky ${v}\n")
+	case 2:
+		b.WriteString("echo hi ${n} -> out\n")
+	case 3:
+		b.WriteString("sleep 0.5\n")
+	case 4:
+		b.WriteString("expr 1 + 2 -> n\n")
+	default:
+		b.WriteString("ok arg1 ${v}\n")
+	}
+}
+
+// TestQuickRandomProgramsTerminate runs random programs end to end in
+// virtual time: they must parse (by construction), print-round-trip,
+// and execute to a clean success or failure without panicking, leaking
+// processes, or stalling the engine.
+func TestQuickRandomProgramsTerminate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := genScript(rng, 3)
+
+		script, err := parser.Parse(src)
+		if err != nil {
+			t.Logf("generated script did not parse:\n%s\nerr: %v", src, err)
+			return false
+		}
+		// Printer round trip.
+		printed := ast.String(script)
+		if _, err := parser.Parse(printed); err != nil {
+			t.Logf("printed form did not re-parse:\n%s\nerr: %v", printed, err)
+			return false
+		}
+
+		e := sim.New(seed)
+		runner := proc.NewMapRunner()
+		runner.Register("ok", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+			return nil
+		})
+		flakyN := 0
+		runner.Register("flaky", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+			flakyN++
+			if flakyN%3 == 0 {
+				return core.ErrFailure
+			}
+			return rt.Sleep(ctx, 100*time.Millisecond)
+		})
+		done := false
+		e.Spawn("script", func(p *sim.Proc) {
+			in := interp.New(interp.Config{Runner: runner, Runtime: p, Stdout: io.Discard})
+			ctx, cancel := p.WithTimeout(e.Context(), 24*time.Hour)
+			defer cancel()
+			_ = in.Run(ctx, script) // success or failure both fine
+			done = true
+		})
+		if err := e.Run(); err != nil {
+			t.Logf("engine: %v\nscript:\n%s", err, src)
+			return false
+		}
+		if !done {
+			t.Logf("script did not finish:\n%s", src)
+			return false
+		}
+		if e.Live() != 0 {
+			t.Logf("leaked %d processes:\n%s", e.Live(), src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package lexer tokenizes ftsh source text.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ftsh/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans ftsh source into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// All scans the entire input, returning every token up to and including
+// EOF, or the first error.
+func All(src string) ([]token.Token, error) {
+	lx := New(src)
+	var toks []token.Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() token.Pos { return token.Pos{Line: l.line, Col: l.col} }
+
+// isWordByte reports whether c may appear in an unquoted word.
+func isWordByte(c byte) bool {
+	switch c {
+	case 0, ' ', '\t', '\n', '\r', '#', '>', '<', '"', '\'', ';':
+		return false
+	}
+	return true
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (token.Token, error) {
+	// Skip horizontal whitespace, comments, and line continuations.
+	for {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.advance()
+			continue
+		}
+		if c == '#' {
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if c == '\\' && l.peekAt(1) == '\n' {
+			l.advance()
+			l.advance()
+			continue
+		}
+		break
+	}
+
+	pos := l.pos()
+	switch c := l.peek(); {
+	case c == 0:
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	case c == '\n' || c == ';':
+		l.advance()
+		return token.Token{Kind: token.NEWLINE, Pos: pos, Text: string(c)}, nil
+	case c == '>':
+		l.advance()
+		switch l.peek() {
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.GTGT, Pos: pos, Text: ">>"}, nil
+		case '&':
+			l.advance()
+			return token.Token{Kind: token.GTAMP, Pos: pos, Text: ">&"}, nil
+		}
+		return token.Token{Kind: token.GT, Pos: pos, Text: ">"}, nil
+	case c == '<':
+		l.advance()
+		return token.Token{Kind: token.LT, Pos: pos, Text: "<"}, nil
+	case c == '-' && (l.peekAt(1) == '>' || l.peekAt(1) == '<'):
+		l.advance()
+		if l.peek() == '<' {
+			l.advance()
+			return token.Token{Kind: token.DASHLT, Pos: pos, Text: "-<"}, nil
+		}
+		l.advance() // '>'
+		switch l.peek() {
+		case '>':
+			l.advance()
+			return token.Token{Kind: token.DASHGTGT, Pos: pos, Text: "->>"}, nil
+		case '&':
+			l.advance()
+			return token.Token{Kind: token.DASHGTAMP, Pos: pos, Text: "->&"}, nil
+		}
+		return token.Token{Kind: token.DASHGT, Pos: pos, Text: "->"}, nil
+	default:
+		return l.word(pos)
+	}
+}
+
+// word scans a (possibly quoted, possibly variable-bearing) word.
+func (l *Lexer) word(pos token.Pos) (token.Token, error) {
+	w := &wordBuilder{}
+	for {
+		c := l.peek()
+		switch {
+		case c == '\'':
+			w.quoted = true
+			w.raw.WriteByte(l.advance())
+			for {
+				if l.peek() == 0 {
+					return token.Token{}, &Error{Pos: pos, Msg: "unterminated single-quoted string"}
+				}
+				ch := l.advance()
+				w.raw.WriteByte(ch)
+				if ch == '\'' {
+					break
+				}
+				w.writeLit(ch, true)
+			}
+		case c == '"':
+			w.quoted = true
+			if err := l.scanDQuote(pos, w); err != nil {
+				return token.Token{}, err
+			}
+		case c == '$':
+			if err := l.scanVar(w, false); err != nil {
+				return token.Token{}, err
+			}
+		case c == '\\':
+			w.raw.WriteByte(l.advance())
+			if l.peek() == 0 || l.peek() == '\n' {
+				return token.Token{}, &Error{Pos: pos, Msg: "trailing backslash"}
+			}
+			ch := l.advance()
+			w.raw.WriteByte(ch)
+			w.writeLit(ch, false)
+		case isWordByte(c) && !(c == '-' && (l.peekAt(1) == '>' || l.peekAt(1) == '<') && w.raw.Len() > 0):
+			// A redirection arrow may begin immediately after a word
+			// (e.g. `run->out`); stop the word there. A leading '-'
+			// arrow was already handled by Next.
+			ch := l.advance()
+			w.raw.WriteByte(ch)
+			w.writeLit(ch, false)
+		default:
+			w.flushLit()
+			if len(w.segs) == 0 && !w.quoted {
+				return token.Token{}, &Error{Pos: pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+			return token.Token{Kind: token.WORD, Pos: pos, Text: w.raw.String(), Segs: w.segs, Quoted: w.quoted}, nil
+		}
+	}
+}
+
+// wordBuilder accumulates a word's segments, flushing the pending
+// literal run whenever the quoting context changes so each literal
+// segment carries an accurate Quoted flag.
+type wordBuilder struct {
+	segs      []token.Segment
+	lit       strings.Builder
+	litQuoted bool
+	raw       strings.Builder
+	quoted    bool
+}
+
+// writeLit appends one literal byte produced in the given quoting
+// context.
+func (w *wordBuilder) writeLit(c byte, quoted bool) {
+	if w.lit.Len() > 0 && w.litQuoted != quoted {
+		w.flushLit()
+	}
+	w.litQuoted = quoted
+	w.lit.WriteByte(c)
+}
+
+// flushLit closes the pending literal run into a segment.
+func (w *wordBuilder) flushLit() {
+	if w.lit.Len() > 0 {
+		w.segs = append(w.segs, token.Segment{Kind: token.SegLit, Text: w.lit.String(), Quoted: w.litQuoted})
+		w.lit.Reset()
+	}
+}
+
+// scanDQuote consumes a double-quoted string (opening quote included),
+// handling escapes and variable references.
+func (l *Lexer) scanDQuote(pos token.Pos, w *wordBuilder) error {
+	w.raw.WriteByte(l.advance()) // opening '"'
+	for {
+		switch l.peek() {
+		case 0:
+			return &Error{Pos: pos, Msg: "unterminated double-quoted string"}
+		case '"':
+			w.raw.WriteByte(l.advance())
+			return nil
+		case '\\':
+			w.raw.WriteByte(l.advance())
+			if l.peek() == 0 {
+				return &Error{Pos: pos, Msg: "trailing backslash in string"}
+			}
+			esc := l.advance()
+			w.raw.WriteByte(esc)
+			switch esc {
+			case 'n':
+				w.writeLit('\n', true)
+			case 't':
+				w.writeLit('\t', true)
+			default:
+				w.writeLit(esc, true)
+			}
+		case '$':
+			if err := l.scanVar(w, true); err != nil {
+				return err
+			}
+		default:
+			ch := l.advance()
+			w.raw.WriteByte(ch)
+			w.writeLit(ch, true)
+		}
+	}
+}
+
+// scanVar consumes `$name` or `${name}` at the current offset.
+func (l *Lexer) scanVar(w *wordBuilder, quoted bool) error {
+	start := l.pos()
+	w.raw.WriteByte(l.advance()) // '$'
+	var nameB strings.Builder
+	if c := l.peek(); c == '*' || c == '#' {
+		// The positional specials $* (all args) and $# (arg count).
+		w.raw.WriteByte(l.advance())
+		w.flushLit()
+		w.segs = append(w.segs, token.Segment{Kind: token.SegVar, Text: string(c)})
+		return nil
+	}
+	if l.peek() == '{' {
+		w.raw.WriteByte(l.advance())
+		for l.peek() != '}' {
+			if l.peek() == 0 || l.peek() == '\n' {
+				return &Error{Pos: start, Msg: "unterminated ${...}"}
+			}
+			ch := l.advance()
+			w.raw.WriteByte(ch)
+			nameB.WriteByte(ch)
+		}
+		w.raw.WriteByte(l.advance()) // '}'
+	} else {
+		for isVarByte(l.peek()) {
+			ch := l.advance()
+			w.raw.WriteByte(ch)
+			nameB.WriteByte(ch)
+		}
+	}
+	name := nameB.String()
+	if name == "" {
+		// A bare '$' is literal, as in most shells.
+		w.writeLit('$', quoted)
+		return nil
+	}
+	w.flushLit()
+	w.segs = append(w.segs, token.Segment{Kind: token.SegVar, Text: name})
+	return nil
+}
+
+// isVarByte reports whether c may appear in an un-braced variable name.
+func isVarByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,48 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ftsh/ast"
+)
+
+// FuzzParse checks the parser's totality and the printer round trip on
+// arbitrary input: Parse must never panic, and when it accepts an
+// input, printing and re-parsing the result must converge.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"wget http://server/file\n",
+		"try for 30 minutes\n  x\nend\n",
+		"try 5 times\n  a\ncatch\n  b\nend\n",
+		"try for 1 hour or 3 times every 10 seconds\n x\nend\n",
+		"forany s in a b c\n  wget ${s}\nend\n",
+		"forall f in x y\n  get ${f}\nend\n",
+		"if ${n} .lt. 1000\n  failure\nelse\n  submit\nend\n",
+		"while true\n  step\nend\n",
+		"function f\n  echo ${1}\nend\nf arg\n",
+		"a=b c d\ncmd ${a} -> out\nrun >& log\ncat -< out\n",
+		`echo "quoted ${x} \" text" 'literal'`,
+		"if .exists. file\n ok\nend\n",
+		"echo $* $# ${9}\n",
+		"cmd ->> v\ncmd -< v\n# comment\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := ast.String(script)
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed output does not re-parse:\ninput: %q\nprinted: %q\nerr: %v", src, printed, err)
+		}
+		second := ast.String(re)
+		if printed != second {
+			t.Fatalf("printer not stable:\nfirst: %q\nsecond: %q", printed, second)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+// Package token defines the lexical tokens of the fault tolerant shell
+// (ftsh) described in §4 of the paper and in UW-CS-TR-1476.
+package token
+
+import "fmt"
+
+// Kind identifies a token class.
+type Kind int
+
+// Token kinds. Keywords are recognized by the parser from WORD tokens at
+// command position, so that `echo try` still works; only structural
+// punctuation is distinguished lexically.
+const (
+	EOF     Kind = iota
+	NEWLINE      // statement separator (also ';')
+	WORD         // a word, possibly containing variable references
+
+	// Redirections to files.
+	GT    // >   stdout to file (truncate)
+	GTGT  // >>  stdout to file (append)
+	LT    // <   stdin from file
+	GTAMP // >&  stdout+stderr to file
+
+	// Redirections to shell variables (§4: "a dash prefixes the arrow").
+	DASHGT    // ->   stdout to variable
+	DASHGTGT  // ->>  stdout appended to variable
+	DASHLT    // -<   stdin from variable
+	DASHGTAMP // ->&  stdout+stderr to variable
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of file"
+	case NEWLINE:
+		return "newline"
+	case WORD:
+		return "word"
+	case GT:
+		return ">"
+	case GTGT:
+		return ">>"
+	case LT:
+		return "<"
+	case GTAMP:
+		return ">&"
+	case DASHGT:
+		return "->"
+	case DASHGTGT:
+		return "->>"
+	case DASHLT:
+		return "-<"
+	case DASHGTAMP:
+		return "->&"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Pos locates a token in its source for error messages.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String renders line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// SegKind distinguishes the parts of a WORD.
+type SegKind int
+
+// Word segment kinds.
+const (
+	SegLit SegKind = iota // literal text
+	SegVar                // ${name} or $name reference
+)
+
+// Segment is one piece of a word: literal text or a variable reference.
+type Segment struct {
+	Kind SegKind
+	Text string // literal text, or the variable name
+	// Quoted marks literal text that came from inside quotes. It
+	// matters for assignment and keyword recognition (`"a=b"` is a
+	// command, `a="b c"` an assignment) and for faithful printing.
+	Quoted bool
+}
+
+// Token is a lexical token. WORD tokens carry their segment breakdown and
+// quoting information.
+type Token struct {
+	Kind Kind
+	Pos  Pos
+	// Text is the raw token text, for diagnostics.
+	Text string
+	// Segs is the segment breakdown of a WORD.
+	Segs []Segment
+	// Quoted marks a WORD any part of which was quoted; quoted words are
+	// never keywords and never split after expansion.
+	Quoted bool
+}
+
+// IsBare reports whether the token is an unquoted WORD exactly equal to s
+// — the test used for keyword recognition.
+func (t Token) IsBare(s string) bool {
+	return t.Kind == WORD && !t.Quoted && len(t.Segs) == 1 &&
+		t.Segs[0].Kind == SegLit && !t.Segs[0].Quoted && t.Segs[0].Text == s
+}
+
+// Keywords of the language, recognized at command position.
+var Keywords = map[string]bool{
+	"try": true, "catch": true, "end": true,
+	"forany": true, "forall": true, "for": true, "while": true,
+	"in": true, "if": true, "elif": true, "else": true,
+	"function": true, "failure": true, "success": true,
+	"return": true,
+}
+
+// CompareOps are the dotted comparison operators of ftsh conditions.
+// Numeric: .lt. .gt. .le. .ge. .eq. .ne. — String: .eql. .neql.
+var CompareOps = map[string]bool{
+	".lt.": true, ".gt.": true, ".le.": true, ".ge.": true,
+	".eq.": true, ".ne.": true, ".eql.": true, ".neql.": true,
+}

@@ -1,0 +1,309 @@
+// Package metrics collects the time series and counters from which the
+// paper's figures are regenerated. It is deliberately simple: everything
+// is single-writer under the simulation token, so there is no locking.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series: a value observed at a virtual
+// time offset from the start of the experiment.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series with a name used in table output.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Max returns the largest value in the series (0 if empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Min returns the smallest value, or 0 if the series is empty.
+func (s *Series) Min() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	m := s.Points[0].V
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of the values (0 if empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// At returns the value in effect at time t: the last sample with T <= t,
+// or 0 if none. Samples must have been appended in time order.
+func (s *Series) At(t time.Duration) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// Counter is a monotonically increasing event count that can also record
+// its own history for timeline figures.
+type Counter struct {
+	Name  string
+	N     int64
+	trace *Series
+}
+
+// NewCounter returns a named counter. If traced, every increment is also
+// recorded as a time-series sample.
+func NewCounter(name string, traced bool) *Counter {
+	c := &Counter{Name: name}
+	if traced {
+		c.trace = NewSeries(name)
+	}
+	return c
+}
+
+// Inc adds one at virtual time t.
+func (c *Counter) Inc(t time.Duration) { c.AddN(t, 1) }
+
+// AddN adds n at virtual time t.
+func (c *Counter) AddN(t time.Duration, n int64) {
+	c.N += n
+	if c.trace != nil {
+		c.trace.Add(t, float64(c.N))
+	}
+}
+
+// Trace returns the counter's cumulative time series (nil if untraced).
+func (c *Counter) Trace() *Series { return c.trace }
+
+// Histogram accumulates values into summary statistics without retaining
+// samples.
+type Histogram struct {
+	Name       string
+	Count      int64
+	Sum        float64
+	SumSquares float64
+	MinV, MaxV float64
+}
+
+// NewHistogram returns an empty named histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{Name: name, MinV: math.Inf(1), MaxV: math.Inf(-1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.Count++
+	h.Sum += v
+	h.SumSquares += v * v
+	if v < h.MinV {
+		h.MinV = v
+	}
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+}
+
+// Mean returns the mean of observed values (0 if none).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Stddev returns the population standard deviation (0 if fewer than two
+// observations).
+func (h *Histogram) Stddev() float64 {
+	if h.Count < 2 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.SumSquares/float64(h.Count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Table renders one or more series that share an x-axis as an aligned
+// text table, in the spirit of the paper's figures: the first column is
+// the x value, subsequent columns are each series' value at that x.
+// Rows are the union of all x values.
+type Table struct {
+	XLabel string
+	Series []*Series
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	xs := map[time.Duration]struct{}{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			xs[p.T] = struct{}{}
+		}
+	}
+	order := make([]time.Duration, 0, len(xs))
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range order {
+		fmt.Fprintf(&b, "%-12.0f", x.Seconds())
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, " %14.1f", s.At(x))
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteTSVTo renders the table as tab-separated values, one row per x,
+// ready for gnuplot or a spreadsheet.
+func (t *Table) WriteTSVTo(w io.Writer) (int64, error) {
+	xs := map[time.Duration]struct{}{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			xs[p.T] = struct{}{}
+		}
+	}
+	order := make([]time.Duration, 0, len(xs))
+	for x := range xs {
+		order = append(order, x)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte('\t')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range order {
+		fmt.Fprintf(&b, "%g", x.Seconds())
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, "\t%g", s.At(x))
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// SweepTable renders series whose x-axis is an integer parameter (for
+// example "number of submitters") rather than time.
+type SweepTable struct {
+	XLabel string
+	Xs     []int
+	// Cols maps a column label to values parallel to Xs.
+	Cols []SweepCol
+}
+
+// SweepCol is one column of a SweepTable.
+type SweepCol struct {
+	Name string
+	Vals []float64
+}
+
+// WriteTo renders the sweep table. It implements io.WriterTo.
+func (t *SweepTable) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, " %14s", c.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "%-14d", x)
+		for _, c := range t.Cols {
+			v := math.NaN()
+			if i < len(c.Vals) {
+				v = c.Vals[i]
+			}
+			fmt.Fprintf(&b, " %14.1f", v)
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// WriteTSVTo renders the sweep table as tab-separated values.
+func (t *SweepTable) WriteTSVTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Cols {
+		b.WriteByte('\t')
+		b.WriteString(c.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "%d", x)
+		for _, c := range t.Cols {
+			v := math.NaN()
+			if i < len(c.Vals) {
+				v = c.Vals[i]
+			}
+			fmt.Fprintf(&b, "\t%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}

@@ -1,0 +1,69 @@
+// Package proc supplies interp.Runner implementations: RealRunner
+// executes external POSIX commands with process-session cleanup
+// semantics (§4 of the paper), and MapRunner dispatches command names to
+// registered Go functions, which is how simulated grid services expose
+// themselves to ftsh scripts.
+package proc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+)
+
+// CommandFunc implements one simulated command. Sleeping through rt
+// advances virtual time; honoring ctx makes the command killable by try
+// timeouts, exactly like a real process session.
+type CommandFunc func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error
+
+// MapRunner routes command names to CommandFuncs. Unknown commands fail
+// with a distinctive error, mirroring "the program could not be loaded
+// and run".
+type MapRunner struct {
+	mu   sync.RWMutex
+	cmds map[string]CommandFunc
+}
+
+// NewMapRunner returns an empty MapRunner.
+func NewMapRunner() *MapRunner {
+	return &MapRunner{cmds: make(map[string]CommandFunc)}
+}
+
+// Register binds name to fn, replacing any previous binding.
+func (m *MapRunner) Register(name string, fn CommandFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cmds[name] = fn
+}
+
+// Names lists registered commands, sorted.
+func (m *MapRunner) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.cmds))
+	for k := range m.cmds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run implements interp.Runner.
+func (m *MapRunner) Run(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+	m.mu.RLock()
+	fn, ok := m.cmds[cmd.Name]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%s: command not found", cmd.Name)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn(ctx, rt, cmd)
+}
+
+var _ interp.Runner = (*MapRunner)(nil)

@@ -1,0 +1,235 @@
+package proc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+	"repro/internal/sim"
+)
+
+func TestMapRunnerDispatch(t *testing.T) {
+	m := NewMapRunner()
+	called := false
+	m.Register("wget", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		called = true
+		if cmd.Args[0] != "http://x/y" {
+			t.Errorf("args = %v", cmd.Args)
+		}
+		return nil
+	})
+	rt := core.NewReal(1)
+	err := m.Run(context.Background(), rt, &interp.Command{Name: "wget", Args: []string{"http://x/y"}})
+	if err != nil || !called {
+		t.Fatalf("err=%v called=%v", err, called)
+	}
+}
+
+func TestMapRunnerUnknownCommand(t *testing.T) {
+	m := NewMapRunner()
+	rt := core.NewReal(1)
+	err := m.Run(context.Background(), rt, &interp.Command{Name: "nope"})
+	if err == nil || !strings.Contains(err.Error(), "command not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapRunnerNames(t *testing.T) {
+	m := NewMapRunner()
+	m.Register("b", nil)
+	m.Register("a", nil)
+	names := m.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestMapRunnerHonorsCanceledContext(t *testing.T) {
+	m := NewMapRunner()
+	m.Register("x", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		t.Error("command ran despite canceled context")
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.Run(ctx, core.NewReal(1), &interp.Command{Name: "x"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapRunnerInsideSimulation(t *testing.T) {
+	m := NewMapRunner()
+	m.Register("slow", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		return rt.Sleep(ctx, 42*time.Second)
+	})
+	e := sim.New(1)
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := m.Run(e.Context(), p, &interp.Command{Name: "slow"}); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Elapsed() != 42*time.Second {
+		t.Fatalf("elapsed = %v", e.Elapsed())
+	}
+}
+
+// The RealRunner tests execute real processes; they are skipped when the
+// basic shell utilities are unavailable.
+
+func realRunner(t *testing.T) *RealRunner {
+	t.Helper()
+	return &RealRunner{Grace: 500 * time.Millisecond}
+}
+
+func TestRealRunnerSuccessAndOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := realRunner(t).Run(context.Background(), core.NewReal(1), &interp.Command{
+		Name:   "echo",
+		Args:   []string{"hello", "world"},
+		Stdout: &out,
+	})
+	if err != nil {
+		t.Skipf("echo unavailable: %v", err)
+	}
+	if got := out.String(); got != "hello world\n" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestRealRunnerExitCode(t *testing.T) {
+	err := realRunner(t).Run(context.Background(), core.NewReal(1), &interp.Command{Name: "false"})
+	if err == nil {
+		t.Fatal("false succeeded")
+	}
+	var ee *ExitError
+	if !errors.As(err, &ee) {
+		t.Skipf("no ExitError (false unavailable?): %v", err)
+	}
+	if ee.Code != 1 {
+		t.Fatalf("code = %d", ee.Code)
+	}
+}
+
+func TestRealRunnerCommandNotFound(t *testing.T) {
+	err := realRunner(t).Run(context.Background(), core.NewReal(1), &interp.Command{Name: "definitely-not-a-command-xyz"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		t.Fatal("not-found must not be an ExitError (distinguishes case 4 of §2)")
+	}
+}
+
+func TestRealRunnerStdin(t *testing.T) {
+	var out bytes.Buffer
+	err := realRunner(t).Run(context.Background(), core.NewReal(1), &interp.Command{
+		Name:   "cat",
+		Stdin:  strings.NewReader("pipe me"),
+		Stdout: &out,
+	})
+	if err != nil {
+		t.Skipf("cat unavailable: %v", err)
+	}
+	if out.String() != "pipe me" {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestRealRunnerKillsSessionOnTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := realRunner(t).Run(ctx, core.NewReal(1), &interp.Command{
+		Name: "sleep",
+		Args: []string{"30"},
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("sleep survived its budget")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("kill took %v; the session was not terminated promptly", elapsed)
+	}
+}
+
+func TestRealRunnerKillsGrandchildren(t *testing.T) {
+	// sh spawns a grandchild sleep; the whole session must die at the
+	// deadline, not just the sh.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := realRunner(t).Run(ctx, core.NewReal(1), &interp.Command{
+		Name: "sh",
+		Args: []string{"-c", "sleep 30 & wait"},
+	})
+	if err == nil {
+		t.Fatal("session survived")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("took %v: grandchild was not killed with the session", elapsed)
+	}
+}
+
+func TestRealRunnerThroughInterpreter(t *testing.T) {
+	// End-to-end: the real shell pipeline — parser, interpreter, real
+	// processes, variable capture.
+	var out bytes.Buffer
+	in := interp.New(interp.Config{
+		Runner:  realRunner(t),
+		Runtime: core.NewReal(1),
+		Stdout:  &out,
+		FS:      interp.OSFS{},
+	})
+	src := `uname -> os
+if ${os} .eql. Linux
+  echo kernel ok
+end
+`
+	if err := in.RunSource(context.Background(), src); err != nil {
+		t.Skipf("uname unavailable: %v", err)
+	}
+	if !strings.Contains(out.String(), "kernel ok") {
+		t.Fatalf("out = %q", out.String())
+	}
+}
+
+func TestRealRunnerTryTimeoutEndToEnd(t *testing.T) {
+	// The paper's headline behaviour on real processes: a try budget
+	// kills a hung command and the script moves on to the catch.
+	var out bytes.Buffer
+	bo := &core.Backoff{Base: 10 * time.Millisecond, Cap: 50 * time.Millisecond, Factor: 2, RandMin: 1, RandMax: 2}
+	in := interp.New(interp.Config{
+		Runner:  realRunner(t),
+		Runtime: core.NewReal(1),
+		Stdout:  &out,
+		Backoff: bo,
+	})
+	src := `try for 0.4 seconds
+  sleep 30
+catch
+  echo gave up cleanly
+end
+`
+	start := time.Now()
+	if err := in.RunSource(context.Background(), src); err != nil {
+		t.Skipf("sleep unavailable: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("try took %v", time.Since(start))
+	}
+	if !strings.Contains(out.String(), "gave up cleanly") {
+		t.Fatalf("out = %q", out.String())
+	}
+}

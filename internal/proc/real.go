@@ -1,0 +1,118 @@
+//go:build unix
+
+package proc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+)
+
+// RealRunner executes external commands as POSIX processes. Following
+// §4, every command is started in its own session (setsid) so that when
+// a try budget expires the entire process tree can be terminated: first
+// a polite SIGTERM to the process group, then SIGKILL after a grace
+// period. This makes ftsh a resource-management tool — a process is "a
+// natural unit for cancellation" (§6).
+type RealRunner struct {
+	// Grace is how long a terminated session gets between SIGTERM and
+	// SIGKILL. Zero means DefaultGrace.
+	Grace time.Duration
+	// LookPath optionally overrides command resolution, for tests.
+	LookPath func(name string) (string, error)
+}
+
+// DefaultGrace is the SIGTERM→SIGKILL delay.
+const DefaultGrace = 5 * time.Second
+
+var _ interp.Runner = (*RealRunner)(nil)
+
+// ExitError reports a command that ran and exited unsuccessfully.
+type ExitError struct {
+	Name string
+	Code int // -1 if terminated by signal
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *ExitError) Error() string {
+	return fmt.Sprintf("%s: exit status %d", e.Name, e.Code)
+}
+
+// Unwrap exposes the underlying exec error.
+func (e *ExitError) Unwrap() error { return e.Err }
+
+// Run implements interp.Runner.
+func (r *RealRunner) Run(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	path := cmd.Name
+	look := r.LookPath
+	if look == nil {
+		look = exec.LookPath
+	}
+	if p, err := look(cmd.Name); err == nil {
+		path = p
+	} else {
+		return fmt.Errorf("%s: %w", cmd.Name, err)
+	}
+
+	c := exec.Command(path, cmd.Args...)
+	c.Stdin = cmd.Stdin
+	c.Stdout = cmd.Stdout
+	c.Stderr = cmd.Stderr
+	// A new session puts the child and all its descendants in a fresh
+	// process group we can signal as a unit.
+	c.SysProcAttr = &syscall.SysProcAttr{Setsid: true}
+
+	if err := c.Start(); err != nil {
+		return fmt.Errorf("%s: %w", cmd.Name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Wait() }()
+
+	select {
+	case err := <-done:
+		return wrapExit(cmd.Name, err)
+	case <-ctx.Done():
+		r.killSession(c, done)
+		return ctx.Err()
+	}
+}
+
+// killSession terminates the command's process group: SIGTERM, grace,
+// SIGKILL, as in §4.
+func (r *RealRunner) killSession(c *exec.Cmd, done <-chan error) {
+	pgid := c.Process.Pid // setsid makes the child its own group leader
+	grace := r.Grace
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	_ = syscall.Kill(-pgid, syscall.SIGTERM)
+	select {
+	case <-done:
+		return
+	case <-time.After(grace):
+	}
+	_ = syscall.Kill(-pgid, syscall.SIGKILL)
+	<-done
+}
+
+// wrapExit converts exec's error into this package's ExitError.
+func wrapExit(name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return &ExitError{Name: name, Code: ee.ExitCode(), Err: err}
+	}
+	return fmt.Errorf("%s: %w", name, err)
+}

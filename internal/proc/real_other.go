@@ -1,0 +1,46 @@
+//go:build !unix
+
+package proc
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+)
+
+// RealRunner requires a POSIX platform: ftsh's cancellation semantics
+// depend on process sessions (§4 notes that Windows NT job objects
+// would allow an even more reliable implementation, but this repository
+// implements the paper's POSIX design). On other platforms every Run
+// fails with ErrUnsupported.
+type RealRunner struct {
+	Grace    time.Duration
+	LookPath func(name string) (string, error)
+}
+
+// DefaultGrace is the SIGTERM→SIGKILL delay on POSIX platforms.
+const DefaultGrace = 5 * time.Second
+
+// ErrUnsupported reports that real process execution is unavailable.
+var ErrUnsupported = errors.New("proc: real process execution requires a unix platform")
+
+// ExitError mirrors the unix implementation's type.
+type ExitError struct {
+	Name string
+	Code int
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *ExitError) Error() string { return e.Name }
+
+// Unwrap exposes the underlying error.
+func (e *ExitError) Unwrap() error { return e.Err }
+
+// Run implements interp.Runner by failing.
+func (r *RealRunner) Run(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+	return ErrUnsupported
+}

@@ -1,0 +1,237 @@
+// Package replica simulates the data-transfer scenario of §5: several
+// single-threaded servers replicate a read-only file service, and one of
+// them is a "black hole" — it accepts connections but never provides
+// data or voluntarily disconnects, slowly absorbing every client that
+// touches it.
+//
+// Clients read a 100 MB file (about 10 seconds under ideal conditions).
+// The Aloha reader bounds each attempt with a 60-second timeout; the
+// Ethernet reader first probes a well-known one-byte flag file under a
+// 5-second timeout and defers to another server if the probe fails.
+package replica
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the scenario.
+type Config struct {
+	// FileSize is the payload size in bytes (100 MB in the paper).
+	FileSize int64
+	// Bandwidth is server transfer speed, bytes/second (10 MB/s → the
+	// paper's ~10 s ideal transfer).
+	Bandwidth int64
+	// FlagSize is the probe file size (1 byte in the paper).
+	FlagSize int64
+	// ConnectTime is the cost of establishing a connection.
+	ConnectTime time.Duration
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		FileSize:    100 << 20,
+		Bandwidth:   10 << 20,
+		FlagSize:    1,
+		ConnectTime: 50 * time.Millisecond,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.FileSize <= 0 {
+		c.FileSize = d.FileSize
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = d.Bandwidth
+	}
+	if c.FlagSize <= 0 {
+		c.FlagSize = d.FlagSize
+	}
+	if c.ConnectTime <= 0 {
+		c.ConnectTime = d.ConnectTime
+	}
+}
+
+// Server is one replica. A server is single-threaded: one client
+// transfers at a time and the rest queue on the connection.
+type Server struct {
+	Name      string
+	BlackHole bool
+	cfg       Config
+	lane      *sim.Resource
+
+	// Transfers counts completed payload downloads; Probes counts flag
+	// fetches served; Absorbed counts clients that entered the black
+	// hole and eventually gave up.
+	Transfers int64
+	Probes    int64
+	Absorbed  int64
+}
+
+// NewServer creates a replica on engine e.
+func NewServer(e *sim.Engine, name string, blackHole bool, cfg Config) *Server {
+	cfg.fillDefaults()
+	return &Server{
+		Name:      name,
+		BlackHole: blackHole,
+		cfg:       cfg,
+		lane:      sim.NewResource(e, name, 1),
+	}
+}
+
+// Busy reports whether a transfer is in progress on this server.
+func (s *Server) Busy() bool { return s.lane.InUse() > 0 }
+
+// SetBlackHole turns black-hole behaviour on or off at runtime,
+// modeling a service that wedges and is later repaired. Clients already
+// absorbed stay absorbed until their own timeouts free them.
+func (s *Server) SetBlackHole(sick bool) { s.BlackHole = sick }
+
+// QueueLen reports clients waiting for the server.
+func (s *Server) QueueLen() int { return s.lane.QueueLen() }
+
+// fetch serializes on the server's single service lane and simulates
+// moving size bytes. On a black hole the client blocks until its
+// context is canceled.
+func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
+	if err := p.Sleep(ctx, s.cfg.ConnectTime); err != nil {
+		return err
+	}
+	if err := s.lane.Acquire(p, ctx); err != nil {
+		return err
+	}
+	defer s.lane.Release()
+	if s.BlackHole {
+		s.Absorbed++
+		return p.Hang(ctx) // never returns data; only cancellation frees us
+	}
+	d := time.Duration(float64(size) / float64(s.cfg.Bandwidth) * float64(time.Second))
+	return p.Sleep(ctx, d)
+}
+
+// FetchData downloads the full payload file.
+func (s *Server) FetchData(p *sim.Proc, ctx context.Context) error {
+	if err := s.fetch(p, ctx, s.cfg.FileSize); err != nil {
+		return err
+	}
+	s.Transfers++
+	return nil
+}
+
+// FetchFlag downloads the one-byte flag file — the cheap availability
+// probe of the Ethernet reader.
+func (s *Server) FetchFlag(p *sim.Proc, ctx context.Context) error {
+	if err := s.fetch(p, ctx, s.cfg.FlagSize); err != nil {
+		return err
+	}
+	s.Probes++
+	return nil
+}
+
+// ReaderConfig shapes one reader client.
+type ReaderConfig struct {
+	// Discipline: Aloha uses only the 60 s data timeout; Ethernet adds
+	// the 5 s flag probe. (A Fixed reader, for comparison, uses no
+	// timeout at all and therefore never escapes the black hole.)
+	Discipline core.Discipline
+	// OuterLimit bounds one whole work unit (900 s in the paper).
+	OuterLimit time.Duration
+	// DataTimeout bounds a single payload attempt (60 s).
+	DataTimeout time.Duration
+	// ProbeTimeout bounds the flag probe (5 s).
+	ProbeTimeout time.Duration
+	// Observer receives discipline events from the inner data try.
+	Observer core.Observer
+}
+
+// DefaultReaderConfig mirrors the paper's scripts.
+func DefaultReaderConfig(d core.Discipline) ReaderConfig {
+	return ReaderConfig{
+		Discipline:   d,
+		OuterLimit:   900 * time.Second,
+		DataTimeout:  60 * time.Second,
+		ProbeTimeout: 5 * time.Second,
+	}
+}
+
+// Reader is one client's accounting.
+type Reader struct {
+	// Done counts completed downloads.
+	Done int64
+	// Collisions counts 60-second attempts wasted on an unresponsive
+	// server (the Aloha reader's black-hole penalty).
+	Collisions int64
+	// Deferrals counts probe failures that diverted the client cheaply.
+	Deferrals int64
+	// Events records each occurrence for timeline figures.
+	Events []Event
+}
+
+// EventKind labels reader timeline events.
+type EventKind int
+
+// Reader event kinds, matching the paper's Figure 6/7 legends.
+const (
+	EvTransfer EventKind = iota
+	EvCollision
+	EvDeferral
+)
+
+// Event is a timestamped reader event.
+type Event struct {
+	Kind EventKind
+	At   time.Duration
+}
+
+// ReadOnce performs one work unit: fetch the file from any server,
+// within the outer limit. It implements the two paper scripts.
+func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) error {
+	return core.Try(ctx, p, core.For(cfg.OuterLimit), core.TryConfig{Observer: cfg.Observer}, func(ctx context.Context) error {
+		_, err := core.Forany(ctx, p, servers, true, func(ctx context.Context, srv *Server) error {
+			if cfg.Discipline == core.Ethernet {
+				// try for 5 seconds: wget http://$host/flag
+				perr := core.Try(ctx, p, core.For(cfg.ProbeTimeout), core.TryConfig{NoBackoff: true, Backoff: nil}, func(ctx context.Context) error {
+					return srv.FetchFlag(p, ctx)
+				})
+				if perr != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					r.Deferrals++
+					r.Events = append(r.Events, Event{Kind: EvDeferral, At: p.Engine().Elapsed()})
+					return core.Deferred(srv.Name)
+				}
+			}
+			// try for 60 seconds: wget http://$host/data
+			derr := core.Try(ctx, p, core.For(cfg.DataTimeout), core.TryConfig{NoBackoff: true}, func(ctx context.Context) error {
+				return srv.FetchData(p, ctx)
+			})
+			if derr != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				r.Collisions++
+				r.Events = append(r.Events, Event{Kind: EvCollision, At: p.Engine().Elapsed()})
+				return core.Collision(srv.Name, derr)
+			}
+			r.Done++
+			r.Events = append(r.Events, Event{Kind: EvTransfer, At: p.Engine().Elapsed()})
+			return nil
+		})
+		return err
+	})
+}
+
+// Loop repeats ReadOnce until ctx is canceled, the paper's "each client
+// repeatedly attempts to read a 100 MB file from a server chosen at
+// random".
+func (r *Reader) Loop(p *sim.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) {
+	for ctx.Err() == nil {
+		_ = r.ReadOnce(p, ctx, servers, cfg)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// Ctx is a context.Context whose deadline is measured in virtual time.
+// Cancellation cascades to child contexts and synchronously wakes any
+// process parked on the context, all under the engine token, which keeps
+// the whole simulation deterministic.
+//
+// A Ctx interoperates with foreign (non-sim) parents in a limited way:
+// the parent's Err is checked when the child is created, but later
+// foreign cancellations are not observed, because watching them would
+// require a real goroutine and real time.
+type Ctx struct {
+	eng      *Engine
+	parent   context.Context
+	done     chan struct{}
+	err      error
+	deadline time.Duration // virtual; valid if hasDeadline
+	hasDL    bool
+	timer    *Timer
+	children map[*Ctx]struct{}
+	hooks    map[int]func(error)
+	hookSeq  int
+}
+
+var _ context.Context = (*Ctx)(nil)
+
+func newCtx(e *Engine, parent context.Context) *Ctx {
+	return &Ctx{eng: e, parent: parent, done: make(chan struct{})}
+}
+
+// Deadline reports the virtual deadline, converted to absolute time.
+func (c *Ctx) Deadline() (time.Time, bool) {
+	if !c.hasDL {
+		return time.Time{}, false
+	}
+	return Epoch.Add(c.deadline), true
+}
+
+// Done returns a channel closed when the context is canceled.
+func (c *Ctx) Done() <-chan struct{} { return c.done }
+
+// Err reports nil until the context is canceled, then the cause.
+func (c *Ctx) Err() error { return c.err }
+
+// Value defers to the parent context chain.
+func (c *Ctx) Value(key any) any {
+	if c.parent != nil {
+		return c.parent.Value(key)
+	}
+	return nil
+}
+
+// cancel marks the context done with cause err, fires hooks, and cascades
+// to children. Must run under the engine token.
+func (c *Ctx) cancel(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	close(c.done)
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	for _, h := range sortedHooks(c.hooks) {
+		h(err)
+	}
+	c.hooks = nil
+	for child := range c.children {
+		child.cancel(err)
+	}
+	c.children = nil
+	if pc, ok := c.parent.(*Ctx); ok && pc.children != nil {
+		delete(pc.children, c)
+	}
+}
+
+// sortedHooks returns cancellation hooks in registration order so wakeups
+// are deterministic regardless of map iteration order.
+func sortedHooks(m map[int]func(error)) []func(error) {
+	if len(m) == 0 {
+		return nil
+	}
+	maxKey := -1
+	for k := range m {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	out := make([]func(error), 0, len(m))
+	for k := 0; k <= maxKey; k++ {
+		if h, ok := m[k]; ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// onCancel registers fn to run when the context is canceled and returns a
+// deregistration function. The caller must have checked Err beforehand.
+func (c *Ctx) onCancel(fn func(error)) func() {
+	if c.hooks == nil {
+		c.hooks = make(map[int]func(error))
+	}
+	id := c.hookSeq
+	c.hookSeq++
+	c.hooks[id] = fn
+	return func() { delete(c.hooks, id) }
+}
+
+// onCancelCtx registers fn on ctx if it is a simulation context; for
+// foreign contexts it returns a no-op deregistration, since foreign
+// cancellation cannot be observed without real concurrency.
+func onCancelCtx(ctx context.Context, fn func(error)) func() {
+	if sc, ok := ctx.(*Ctx); ok {
+		return sc.onCancel(fn)
+	}
+	return func() {}
+}
+
+// WithCancel derives a child context canceled either explicitly or when
+// its parent is canceled.
+func (e *Engine) WithCancel(parent context.Context) (context.Context, context.CancelFunc) {
+	child := newCtx(e, parent)
+	if err := parent.Err(); err != nil {
+		child.cancel(err)
+		return child, func() {}
+	}
+	if pc, ok := parent.(*Ctx); ok {
+		if pc.children == nil {
+			pc.children = make(map[*Ctx]struct{})
+		}
+		pc.children[child] = struct{}{}
+	}
+	return child, func() { child.cancel(context.Canceled) }
+}
+
+// WithTimeout derives a child context canceled after d of virtual time.
+func (e *Engine) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := e.WithCancel(parent)
+	child := ctx.(*Ctx)
+	if child.err != nil {
+		return child, cancel
+	}
+	child.hasDL = true
+	child.deadline = e.now + d
+	if pd, ok := parent.Deadline(); ok {
+		if pv := pd.Sub(Epoch); pv < child.deadline {
+			child.deadline = pv
+		}
+	}
+	child.timer = e.Schedule(child.deadline-e.now, func() {
+		child.cancel(context.DeadlineExceeded)
+	})
+	return child, cancel
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWithCancelOnCanceledParent(t *testing.T) {
+	e := New(1)
+	parent, cancel := e.WithCancel(e.Context())
+	cancel()
+	child, ccancel := e.WithCancel(parent)
+	defer ccancel()
+	if !errors.Is(child.Err(), context.Canceled) {
+		t.Fatalf("child of canceled parent: Err = %v", child.Err())
+	}
+}
+
+func TestWithTimeoutOnCanceledParent(t *testing.T) {
+	e := New(1)
+	parent, cancel := e.WithCancel(e.Context())
+	cancel()
+	child, ccancel := e.WithTimeout(parent, time.Hour)
+	defer ccancel()
+	if child.Err() == nil {
+		t.Fatal("child of canceled parent is live")
+	}
+}
+
+func TestDeadlinePropagatesToChild(t *testing.T) {
+	e := New(1)
+	outer, c1 := e.WithTimeout(e.Context(), time.Minute)
+	defer c1()
+	inner, c2 := e.WithTimeout(outer, time.Hour)
+	defer c2()
+	d, ok := inner.Deadline()
+	if !ok {
+		t.Fatal("no deadline")
+	}
+	if want := Epoch.Add(time.Minute); !d.Equal(want) {
+		t.Fatalf("inner deadline = %v, want parent's %v", d, want)
+	}
+}
+
+func TestCancelIsIdempotentAndPrunesChildren(t *testing.T) {
+	e := New(1)
+	parent, pcancel := e.WithCancel(e.Context())
+	child, ccancel := e.WithCancel(parent)
+	ccancel()
+	ccancel() // idempotent
+	pcancel()
+	if !errors.Is(child.Err(), context.Canceled) {
+		t.Fatalf("child Err = %v", child.Err())
+	}
+	select {
+	case <-child.Done():
+	default:
+		t.Fatal("child Done not closed")
+	}
+}
+
+func TestValueDelegatesToParent(t *testing.T) {
+	e := New(1)
+	type key struct{}
+	parent := context.WithValue(context.Background(), key{}, "payload")
+	ctx, cancel := e.WithCancel(parent)
+	defer cancel()
+	if got := ctx.Value(key{}); got != "payload" {
+		t.Fatalf("Value = %v", got)
+	}
+}
+
+func TestRootContextValueIsNil(t *testing.T) {
+	e := New(1)
+	if v := e.Context().Value("anything"); v != nil {
+		t.Fatalf("root Value = %v", v)
+	}
+}
+
+func TestDeadlineAbsentWithoutTimeout(t *testing.T) {
+	e := New(1)
+	ctx, cancel := e.WithCancel(e.Context())
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("cancel-only context reports a deadline")
+	}
+}
+
+func TestHangOnCanceledContextReturnsImmediately(t *testing.T) {
+	e := New(1)
+	ctx, cancel := e.WithCancel(e.Context())
+	cancel()
+	e.Spawn("h", func(p *Proc) {
+		if err := p.Hang(ctx); err == nil {
+			t.Error("Hang on dead ctx returned nil")
+		}
+		if p.Elapsed() != 0 {
+			t.Errorf("Hang consumed %v", p.Elapsed())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepOnCanceledContextReturnsImmediately(t *testing.T) {
+	e := New(1)
+	ctx, cancel := e.WithCancel(e.Context())
+	cancel()
+	e.Spawn("s", func(p *Proc) {
+		if err := p.Sleep(ctx, time.Hour); err == nil {
+			t.Error("Sleep on dead ctx returned nil")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceSetCapacity(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "r", 2)
+	e.Spawn("x", func(p *Proc) {
+		if !r.TryAcquire() || !r.TryAcquire() {
+			t.Error("initial capacity not 2")
+		}
+		r.SetCapacity(1) // shrink below inUse: drains as released
+		if r.TryAcquire() {
+			t.Error("acquire beyond shrunk capacity")
+		}
+		r.Release()
+		r.Release()
+		if !r.TryAcquire() {
+			t.Error("acquire after drain failed")
+		}
+		if r.Available() != 0 || r.InUse() != 1 || r.Capacity() != 1 {
+			t.Errorf("state = cap %d inUse %d", r.Capacity(), r.InUse())
+		}
+		r.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineAccounting(t *testing.T) {
+	e := New(1)
+	if !e.Quiesced() {
+		t.Fatal("fresh engine not quiesced")
+	}
+	tm := e.Schedule(time.Second, func() {})
+	if e.Quiesced() {
+		t.Fatal("engine with pending timer reports quiesced")
+	}
+	if tm.When() != time.Second {
+		t.Fatalf("When = %v", tm.When())
+	}
+	e.Spawn("p", func(p *Proc) { p.SleepFor(2 * time.Second) })
+	if e.Live() != 1 {
+		t.Fatalf("Live = %d", e.Live())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 || !e.Quiesced() {
+		t.Fatalf("after run: live=%d quiesced=%v", e.Live(), e.Quiesced())
+	}
+	if e.Events() == 0 {
+		t.Fatal("no events counted")
+	}
+	if e.Now() != Epoch.Add(2*time.Second) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "r", 1)
+	e.Spawn("holder", func(p *Proc) {
+		_ = r.Acquire(p, e.Context())
+		p.SleepFor(10 * time.Second)
+		r.Release()
+	})
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			p.SleepFor(time.Second)
+			if err := r.Acquire(p, e.Context()); err == nil {
+				r.Release()
+			}
+		})
+	}
+	e.Schedule(5*time.Second, func() {
+		if got := r.QueueLen(); got != 3 {
+			t.Errorf("QueueLen = %d, want 3", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueLen() != 0 {
+		t.Fatalf("final QueueLen = %d", r.QueueLen())
+	}
+}
+
+func TestSetCapacityGrowthGrantsWaiters(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "r", 1)
+	var gotAt time.Duration
+	e.Spawn("holder", func(p *Proc) {
+		_ = r.Acquire(p, e.Context())
+		p.SleepFor(time.Hour)
+		r.Release()
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		if err := r.Acquire(p, e.Context()); err != nil {
+			t.Errorf("acquire: %v", err)
+			return
+		}
+		gotAt = p.Elapsed()
+		r.Release()
+	})
+	// Capacity doubles at t=5s; the waiter must be granted then, not
+	// an hour later when the holder releases.
+	e.Schedule(5*time.Second, func() { r.SetCapacity(2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != 5*time.Second {
+		t.Fatalf("waiter granted at %v, want 5s", gotAt)
+	}
+}

@@ -1,0 +1,204 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperative, goroutine-backed processes.
+//
+// The engine advances a virtual clock and runs exactly one process at a
+// time, so simulation code needs no locking and every run with the same
+// seed is bit-for-bit reproducible. Processes are ordinary Go functions
+// that block by calling engine primitives (Sleep, Acquire, Park); while a
+// process runs, the engine is parked, and vice versa, so engine state is
+// protected by the token handoff rather than by mutexes.
+//
+// The package exists so that the retry/backoff logic in internal/core can
+// be exercised over hours of virtual time in milliseconds of real time,
+// with hundreds of concurrent clients, exactly as the paper's experiments
+// require. A real-time adapter in internal/core runs the same logic
+// against the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Epoch is the virtual time origin: all virtual timestamps are offsets
+// from this instant. The particular date is arbitrary (it is the month
+// HPDC 12 took place) but fixed so traces are stable across runs.
+var Epoch = time.Date(2003, time.June, 22, 0, 0, 0, 0, time.UTC)
+
+// Engine is a single-threaded discrete-event simulator. Create one with
+// New, add processes with Spawn, then call Run. Engine methods must only
+// be called either before Run starts, from inside a process, or from a
+// timer callback; they are not safe for use from arbitrary goroutines.
+type Engine struct {
+	now    time.Duration // virtual time since Epoch
+	seq    int64         // tie-breaker for timers scheduled at the same instant
+	timers timerHeap
+	runq   []*Proc // FIFO of runnable processes
+	live   int     // processes that have not exited
+
+	yielded chan struct{} // process -> engine token handoff
+	current *Proc
+
+	rng    *rand.Rand
+	events int64
+	// MaxEvents bounds the total number of scheduling steps as a guard
+	// against accidental infinite simulations. Zero means the default.
+	MaxEvents int64
+
+	root *Ctx
+}
+
+const defaultMaxEvents = 200_000_000
+
+// New returns an engine whose random source is seeded with seed.
+// Identical seeds yield identical simulations.
+func New(seed int64) *Engine {
+	e := &Engine{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+	e.root = newCtx(e, nil)
+	return e
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Time { return Epoch.Add(e.now) }
+
+// Elapsed reports virtual time elapsed since the start of the run.
+func (e *Engine) Elapsed() time.Duration { return e.now }
+
+// Events reports how many scheduling steps (process resumptions and timer
+// firings) the engine has executed.
+func (e *Engine) Events() int64 { return e.events }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used under the engine token (from processes or timer callbacks).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Context returns the root simulation context. It is canceled only when
+// explicitly requested, e.g. to shut down an experiment window.
+func (e *Engine) Context() *Ctx { return e.root }
+
+// Spawn creates a new process executing fn and schedules it to run. It
+// may be called before Run or from inside a running process or timer.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.exit()
+	}()
+	e.runq = append(e.runq, p)
+	return p
+}
+
+// Schedule arranges for fn to run at virtual time now+d under the engine
+// token. It returns a handle that can cancel the callback before it fires.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{at: e.now + d, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.timers, t)
+	return t
+}
+
+// Run executes the simulation until no process is runnable and no timer is
+// pending (quiescence), or until MaxEvents steps have been taken, in which
+// case it returns an error. Processes parked forever (for example waiting
+// on a resource that is never released) do not keep Run alive; cancel
+// their contexts to unwind them.
+func (e *Engine) Run() error {
+	max := e.MaxEvents
+	if max <= 0 {
+		max = defaultMaxEvents
+	}
+	for {
+		e.events++
+		if e.events > max {
+			return fmt.Errorf("sim: exceeded %d events at t=%v (runnable=%d timers=%d): likely livelock", max, e.now, len(e.runq), e.timers.Len())
+		}
+		switch {
+		case len(e.runq) > 0:
+			p := e.runq[0]
+			copy(e.runq, e.runq[1:])
+			e.runq = e.runq[:len(e.runq)-1]
+			e.current = p
+			p.resume <- struct{}{}
+			<-e.yielded
+			e.current = nil
+		case e.timers.Len() > 0:
+			t := heap.Pop(&e.timers).(*Timer)
+			if t.canceled {
+				continue
+			}
+			if t.at > e.now {
+				e.now = t.at
+			}
+			t.fn()
+		default:
+			return nil
+		}
+	}
+}
+
+// Quiesced reports whether the engine has neither runnable processes nor
+// pending timers.
+func (e *Engine) Quiesced() bool { return len(e.runq) == 0 && e.timers.Len() == 0 }
+
+// Live reports the number of processes that have been spawned and have
+// not yet returned.
+func (e *Engine) Live() int { return e.live }
+
+// Timer is a scheduled callback. See Engine.Schedule.
+type Timer struct {
+	at       time.Duration
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+// Cancel prevents the timer from firing. Canceling an already-fired or
+// already-canceled timer is a no-op.
+func (t *Timer) Cancel() { t.canceled = true }
+
+// When reports the virtual time at which the timer fires.
+func (t *Timer) When() time.Duration { return t.at }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

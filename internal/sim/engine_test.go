@@ -1,0 +1,557 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := New(1)
+	var woke time.Duration
+	e.Spawn("sleeper", func(p *Proc) {
+		p.SleepFor(5 * time.Second)
+		woke = p.Elapsed()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5*time.Second {
+		t.Fatalf("woke at %v, want 5s", woke)
+	}
+	if e.Elapsed() != 5*time.Second {
+		t.Fatalf("engine at %v, want 5s", e.Elapsed())
+	}
+}
+
+func TestSleepOrderingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		e := New(42)
+		var order []string
+		for _, spec := range []struct {
+			name string
+			d    time.Duration
+		}{{"c", 3 * time.Second}, {"a", 1 * time.Second}, {"b", 2 * time.Second}, {"a2", 1 * time.Second}} {
+			spec := spec
+			e.Spawn(spec.name, func(p *Proc) {
+				p.SleepFor(spec.d)
+				order = append(order, spec.name)
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	want := []string{"a", "a2", "b", "c"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+	second := run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("nondeterministic order: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	e := New(1)
+	var trace []int
+	e.Spawn("x", func(p *Proc) {
+		trace = append(trace, 1)
+		p.SleepFor(0)
+		trace = append(trace, 3)
+	})
+	e.Spawn("y", func(p *Proc) {
+		trace = append(trace, 2)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSleepCanceledByTimeout(t *testing.T) {
+	e := New(1)
+	var err error
+	var at time.Duration
+	e.Spawn("x", func(p *Proc) {
+		ctx, cancel := p.WithTimeout(e.Context(), 2*time.Second)
+		defer cancel()
+		err = p.Sleep(ctx, time.Hour)
+		at = p.Elapsed()
+	})
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if at != 2*time.Second {
+		t.Fatalf("woke at %v, want 2s", at)
+	}
+}
+
+func TestNestedTimeoutsInnerWinsWhenShorter(t *testing.T) {
+	e := New(1)
+	var inner, outer error
+	e.Spawn("x", func(p *Proc) {
+		octx, ocancel := p.WithTimeout(e.Context(), 10*time.Second)
+		defer ocancel()
+		ictx, icancel := p.WithTimeout(octx, time.Second)
+		defer icancel()
+		inner = p.Sleep(ictx, time.Hour)
+		outer = octx.Err()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(inner, context.DeadlineExceeded) {
+		t.Fatalf("inner err = %v", inner)
+	}
+	if outer != nil {
+		t.Fatalf("outer canceled too early: %v", outer)
+	}
+}
+
+func TestOuterTimeoutCancelsInnerWait(t *testing.T) {
+	e := New(1)
+	var err error
+	var at time.Duration
+	e.Spawn("x", func(p *Proc) {
+		octx, ocancel := p.WithTimeout(e.Context(), time.Second)
+		defer ocancel()
+		ictx, icancel := p.WithTimeout(octx, time.Hour)
+		defer icancel()
+		err = p.Sleep(ictx, 30*time.Minute)
+		at = p.Elapsed()
+	})
+	if e2 := e.Run(); e2 != nil {
+		t.Fatal(e2)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || at != time.Second {
+		t.Fatalf("err=%v at=%v, want DeadlineExceeded at 1s", err, at)
+	}
+}
+
+func TestExplicitCancelWakesHang(t *testing.T) {
+	e := New(1)
+	ctx, cancel := e.WithCancel(e.Context())
+	var err error
+	e.Spawn("hanger", func(p *Proc) {
+		err = p.Hang(ctx)
+	})
+	e.Schedule(7*time.Second, func() { cancel() })
+	if runErr := e.Run(); runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if e.Elapsed() != 7*time.Second {
+		t.Fatalf("elapsed %v, want 7s", e.Elapsed())
+	}
+}
+
+func TestResourceSerializesClients(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "server", 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		e.Spawn("client", func(p *Proc) {
+			if err := r.Acquire(p, e.Context()); err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			p.SleepFor(10 * time.Second)
+			r.Release()
+			finish = append(finish, p.Elapsed())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceAcquireCanceled(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "server", 1)
+	e.Spawn("holder", func(p *Proc) {
+		if err := r.Acquire(p, e.Context()); err != nil {
+			t.Errorf("holder acquire: %v", err)
+		}
+		p.SleepFor(time.Hour)
+		r.Release()
+	})
+	var waitErr error
+	e.Spawn("waiter", func(p *Proc) {
+		ctx, cancel := p.WithTimeout(e.Context(), time.Minute)
+		defer cancel()
+		waitErr = r.Acquire(p, ctx)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(waitErr, context.DeadlineExceeded) {
+		t.Fatalf("waitErr = %v", waitErr)
+	}
+	if r.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", r.Timeouts)
+	}
+}
+
+func TestResourceAbandonedWaiterNotGranted(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, "s", 1)
+	var got []string
+	e.Spawn("holder", func(p *Proc) {
+		_ = r.Acquire(p, e.Context())
+		p.SleepFor(10 * time.Second)
+		r.Release()
+	})
+	e.Spawn("quitter", func(p *Proc) {
+		ctx, cancel := p.WithTimeout(e.Context(), 2*time.Second)
+		defer cancel()
+		if err := r.Acquire(p, ctx); err == nil {
+			got = append(got, "quitter")
+			r.Release()
+		}
+	})
+	e.Spawn("patient", func(p *Proc) {
+		p.SleepFor(time.Second)
+		if err := r.Acquire(p, e.Context()); err == nil {
+			got = append(got, "patient")
+			r.Release()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "patient" {
+		t.Fatalf("got = %v, want [patient]", got)
+	}
+}
+
+func TestParallelJoinsAllBranches(t *testing.T) {
+	e := New(1)
+	var errs []error
+	var joined time.Duration
+	e.Spawn("parent", func(p *Proc) {
+		boom := errors.New("boom")
+		errs = p.Parallel(e.Context(), 0, []func(context.Context, core.Runtime) error{
+			func(ctx context.Context, rt core.Runtime) error { return nil },
+			func(ctx context.Context, rt core.Runtime) error { return boom },
+		})
+		joined = p.Elapsed()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[1] == nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if joined != 0 {
+		t.Fatalf("joined at %v, want 0 (branches were instantaneous)", joined)
+	}
+}
+
+func TestParallelBranchesRunConcurrently(t *testing.T) {
+	e := New(1)
+	var joined time.Duration
+	sleepBranch := func(d time.Duration) func(context.Context, core.Runtime) error {
+		return func(ctx context.Context, rt core.Runtime) error {
+			return rt.Sleep(ctx, d)
+		}
+	}
+	e.Spawn("parent", func(p *Proc) {
+		errs := p.Parallel(e.Context(), 0, []func(context.Context, core.Runtime) error{
+			sleepBranch(5 * time.Second),
+			sleepBranch(3 * time.Second),
+		})
+		for _, err := range errs {
+			if err != nil {
+				t.Errorf("branch err: %v", err)
+			}
+		}
+		joined = p.Elapsed()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != 5*time.Second {
+		t.Fatalf("joined at %v, want 5s (max of branches, not sum)", joined)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	tm.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestSchedulePeriodicSampling(t *testing.T) {
+	e := New(1)
+	var samples []time.Duration
+	var tick func()
+	tick = func() {
+		samples = append(samples, e.Elapsed())
+		if e.Elapsed() < 5*time.Second {
+			e.Schedule(time.Second, tick)
+		}
+	}
+	e.Schedule(time.Second, tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples = %v, want 5 entries", samples)
+	}
+}
+
+func TestRunDetectsLivelock(t *testing.T) {
+	e := New(1)
+	e.MaxEvents = 1000
+	e.Spawn("spinner", func(p *Proc) {
+		for {
+			p.Yield()
+		}
+	})
+	if err := e.Run(); err == nil {
+		t.Fatal("expected livelock error")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	seq := func(seed int64) []float64 {
+		e := New(seed)
+		var out []float64
+		e.Spawn("r", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				out = append(out, p.Rand())
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestNowTracksEpoch(t *testing.T) {
+	e := New(1)
+	e.Spawn("x", func(p *Proc) {
+		p.SleepFor(90 * time.Second)
+		if got := p.Now(); !got.Equal(Epoch.Add(90 * time.Second)) {
+			t.Errorf("Now = %v", got)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any set of sleep durations, all processes wake exactly at
+// their requested virtual times and the engine finishes at the maximum.
+func TestQuickSleepSchedule(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		e := New(3)
+		woke := make([]time.Duration, len(raw))
+		var maxD time.Duration
+		for i, r := range raw {
+			i := i
+			d := time.Duration(r) * time.Millisecond
+			if d > maxD {
+				maxD = d
+			}
+			e.Spawn("p", func(p *Proc) {
+				p.SleepFor(d)
+				woke[i] = p.Elapsed()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i, r := range raw {
+			if woke[i] != time.Duration(r)*time.Millisecond {
+				return false
+			}
+		}
+		return e.Elapsed() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FIFO resource with capacity c and n identical jobs of
+// duration d finishes at ceil(n/c)*d.
+func TestQuickResourcePipelining(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		c := int(cRaw%5) + 1
+		const d = 3 * time.Second
+		e := New(5)
+		r := NewResource(e, "r", c)
+		for i := 0; i < n; i++ {
+			e.Spawn("job", func(p *Proc) {
+				if err := r.Acquire(p, e.Context()); err != nil {
+					return
+				}
+				p.SleepFor(d)
+				r.Release()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		batches := (n + c - 1) / c
+		return e.Elapsed() == time.Duration(batches)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelLimitBoundsConcurrency(t *testing.T) {
+	e := New(1)
+	var joined time.Duration
+	inFlight, maxInFlight := 0, 0
+	branch := func(ctx context.Context, rt core.Runtime) error {
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		err := rt.Sleep(ctx, 10*time.Second)
+		inFlight--
+		return err
+	}
+	e.Spawn("parent", func(p *Proc) {
+		fns := make([]func(context.Context, core.Runtime) error, 6)
+		for i := range fns {
+			fns[i] = branch
+		}
+		errs := p.Parallel(e.Context(), 2, fns)
+		for _, err := range errs {
+			if err != nil {
+				t.Errorf("branch: %v", err)
+			}
+		}
+		joined = p.Elapsed()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight != 2 {
+		t.Fatalf("maxInFlight = %d, want 2", maxInFlight)
+	}
+	// 6 branches, 2 at a time, 10s each => 30s.
+	if joined != 30*time.Second {
+		t.Fatalf("joined at %v, want 30s", joined)
+	}
+}
+
+func TestParallelLimitLargerThanBranches(t *testing.T) {
+	e := New(1)
+	e.Spawn("parent", func(p *Proc) {
+		errs := p.Parallel(e.Context(), 99, []func(context.Context, core.Runtime) error{
+			func(ctx context.Context, rt core.Runtime) error { return rt.Sleep(ctx, time.Second) },
+			func(ctx context.Context, rt core.Runtime) error { return rt.Sleep(ctx, time.Second) },
+		})
+		for _, err := range errs {
+			if err != nil {
+				t.Errorf("branch: %v", err)
+			}
+		}
+		if p.Elapsed() != time.Second {
+			t.Errorf("elapsed = %v, want 1s (fully parallel)", p.Elapsed())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargePopulationDeterminism(t *testing.T) {
+	// A thousand processes with interleaved sleeps, resource contention,
+	// and timeouts must produce the identical event count and final
+	// clock on every run with the same seed.
+	run := func() (int64, time.Duration) {
+		e := New(99)
+		r := NewResource(e, "shared", 7)
+		ctx, cancel := e.WithTimeout(e.Context(), 5*time.Minute)
+		defer cancel()
+		for i := 0; i < 1000; i++ {
+			e.Spawn("p", func(p *Proc) {
+				for ctx.Err() == nil {
+					d := time.Duration(1+int(p.Rand()*2000)) * time.Millisecond
+					if p.Sleep(ctx, d) != nil {
+						return
+					}
+					actx, acancel := p.WithTimeout(ctx, 10*time.Second)
+					if r.Acquire(p, actx) == nil {
+						_ = p.Sleep(ctx, 500*time.Millisecond)
+						r.Release()
+					}
+					acancel()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Events(), e.Elapsed()
+	}
+	ev1, t1 := run()
+	ev2, t2 := run()
+	if ev1 != ev2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%v) vs (%d,%v)", ev1, t1, ev2, t2)
+	}
+	if ev1 < 100000 {
+		t.Fatalf("events = %d, stress too small", ev1)
+	}
+}

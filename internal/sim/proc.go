@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Proc is a simulated process: a goroutine that runs only while it holds
+// the engine token. All of its methods must be called from the process's
+// own goroutine unless documented otherwise.
+//
+// Proc satisfies the core.Runtime interface, so the same fault-tolerance
+// code drives both simulated and real executions.
+type Proc struct {
+	eng     *Engine
+	name    string
+	resume  chan struct{}
+	parked  bool
+	wakeErr error
+	done    bool
+}
+
+// ErrProcKilled is returned from blocking calls when a process is woken
+// because its context was canceled without a more specific cause.
+var ErrProcKilled = errors.New("sim: process killed")
+
+// A Proc is the virtual-time implementation of the fault-tolerance
+// runtime; the same retry code drives simulations and real executions.
+var _ core.Runtime = (*Proc)(nil)
+
+// Name returns the name given at Spawn time, for traces and tests.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Time { return p.eng.Now() }
+
+// Elapsed reports virtual time since the start of the simulation.
+func (p *Proc) Elapsed() time.Duration { return p.eng.now }
+
+// Rand returns a deterministic uniform value in [0,1).
+func (p *Proc) Rand() float64 { return p.eng.rng.Float64() }
+
+// exit is called by the spawn wrapper when the process function returns.
+func (p *Proc) exit() {
+	p.done = true
+	p.eng.live--
+	p.eng.yielded <- struct{}{}
+}
+
+// park yields the token to the engine and blocks until some other party
+// wakes the process. It returns the error supplied by the waker.
+func (p *Proc) park() error {
+	p.parked = true
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+	err := p.wakeErr
+	p.wakeErr = nil
+	return err
+}
+
+// wake makes a parked process runnable. It must be called under the
+// engine token by a timer callback or another process.
+func (p *Proc) wake(err error) {
+	if !p.parked {
+		panic("sim: wake of non-parked process " + p.name)
+	}
+	p.parked = false
+	p.wakeErr = err
+	p.eng.runq = append(p.eng.runq, p)
+}
+
+// Yield gives other runnable processes a chance to run at the current
+// virtual instant.
+func (p *Proc) Yield() {
+	self := p
+	p.eng.Schedule(0, func() { self.wake(nil) })
+	_ = p.park()
+}
+
+// SleepFor pauses the process for d of virtual time. It cannot be
+// interrupted; prefer Sleep with a context for cancellable waits.
+func (p *Proc) SleepFor(d time.Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	self := p
+	p.eng.Schedule(d, func() { self.wake(nil) })
+	_ = p.park()
+}
+
+// Sleep pauses the process for d of virtual time or until ctx is
+// canceled, whichever comes first, returning the context's error in the
+// latter case. It implements the core.Runtime sleep contract.
+func (p *Proc) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		p.Yield()
+		return ctx.Err()
+	}
+	fired := false
+	self := p
+	t := p.eng.Schedule(d, func() {
+		if !fired {
+			fired = true
+			self.wake(nil)
+		}
+	})
+	unreg := onCancelCtx(ctx, func(err error) {
+		if !fired {
+			fired = true
+			t.Cancel()
+			self.wake(err)
+		}
+	})
+	err := p.park()
+	unreg()
+	return err
+}
+
+// Hang parks the process until ctx is canceled, then returns the
+// cancellation cause. It models interacting with a "black hole" service
+// that never responds.
+func (p *Proc) Hang(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	self := p
+	fired := false
+	unreg := onCancelCtx(ctx, func(err error) {
+		if !fired {
+			fired = true
+			self.wake(err)
+		}
+	})
+	err := p.park()
+	unreg()
+	return err
+}
+
+// WithTimeout derives a context that is canceled after d of virtual time.
+// If parent is a simulation context the cancellation also propagates from
+// it; foreign parents are honored only via their current Err state.
+func (p *Proc) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return p.eng.WithTimeout(parent, d)
+}
+
+// WithCancel derives a cancelable child context in virtual time.
+func (p *Proc) WithCancel(parent context.Context) (context.Context, context.CancelFunc) {
+	return p.eng.WithCancel(parent)
+}
+
+// Parallel runs the fns in worker processes, handing each branch its
+// worker as its Runtime, and parks the caller until every branch has
+// returned. The i'th error in the result corresponds to fns[i]. At
+// most limit branches run at once (limit <= 0 means one process per
+// branch); queued branches are admitted in index order as workers free
+// up. Cancellation of branches is the caller's business: wrap fns with
+// a shared cancelable context to get first-failure-aborts semantics.
+func (p *Proc) Parallel(ctx context.Context, limit int, fns []func(ctx context.Context, rt core.Runtime) error) []error {
+	errs := make([]error, len(fns))
+	if len(fns) == 0 {
+		return errs
+	}
+	workers := len(fns)
+	if limit > 0 && limit < workers {
+		workers = limit
+	}
+	next := 0
+	remaining := len(fns)
+	parent := p
+	parentParked := false
+	for w := 0; w < workers; w++ {
+		p.eng.Spawn(p.name+"/par", func(child *Proc) {
+			for next < len(fns) {
+				i := next
+				next++ // token-serialized: no race
+				errs[i] = fns[i](ctx, child)
+				remaining--
+			}
+			if remaining == 0 && parentParked {
+				parentParked = false // only the first finisher wakes
+				parent.wake(nil)
+			}
+		})
+	}
+	// Workers cannot have run yet (we hold the token), so parking here
+	// is race-free even if they all finish before the parent would.
+	for remaining > 0 {
+		parentParked = true
+		_ = p.park()
+		parentParked = false
+	}
+	return errs
+}

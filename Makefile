@@ -1,0 +1,36 @@
+# Development targets. `make ci` is the full gate: vet, build, race
+# tests, and a short fuzz smoke on every fuzz target.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race short fuzz-smoke golden ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# A brief run of each fuzz target: catches regressions in the corpus
+# and keeps the harnesses themselves compiling and passing.
+fuzz-smoke:
+	$(GO) test -run FuzzLex -fuzz FuzzLex -fuzztime $(FUZZTIME) ./internal/ftsh/lexer
+	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ftsh/parser
+
+# Rewrite the gridbench golden files after an intentional output change.
+golden:
+	$(GO) test ./cmd/gridbench -run TestGolden -update
+
+ci: vet build race fuzz-smoke

@@ -52,6 +52,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	maxForall := fs.Int("max-forall", 0, "bound concurrent forall branches (0 = unlimited)")
 	dump := fs.Bool("dump", false, "parse the script and print its canonical form instead of running it")
 	stats := fs.Bool("stats", false, "print a post-mortem execution report to stderr on exit")
+	seed := fs.Int64("seed", 0, "seed for backoff jitter and forany shuffling (0 = nondeterministic)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -89,7 +90,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 
 	cfg := interp.Config{
 		Runner:        &proc.RealRunner{Grace: *grace},
-		Runtime:       core.NewReal(0),
+		Runtime:       core.NewReal(*seed),
 		Stdout:        stdout,
 		Stderr:        stderr,
 		FS:            interp.OSFS{},

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	gridbench [-fig N] [-seed S] [-scale F] [-format table|tsv]
+//	          [-chaos PLAN] [-chaos-seed S] [-check]
 //
 // Without -fig, every figure is produced in order. Output is plain
 // aligned text (or TSV for plotting): sweep tables for Figures 1, 4,
 // and 5, and time series tables for Figures 2, 3, 6, and 7.
+//
+// -chaos regenerates the figures under a named fault-injection plan
+// (see internal/chaos; plans: bursts, crashes, flap, latency, mixed,
+// squeeze), deterministically scheduled from -chaos-seed. -check runs
+// the invariant-checker suite alongside every figure and fails the run
+// if any safety or liveness property is violated.
 package main
 
 import (
@@ -16,8 +23,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/expt"
 )
 
@@ -34,6 +43,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
 	format := fs.String("format", "table", "output format: table or tsv")
+	chaosName := fs.String("chaos", "", "fault-injection plan to run the figures under ("+strings.Join(chaos.Names(), ", ")+")")
+	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the fault plan's schedule (default: -seed)")
+	check := fs.Bool("check", false, "run the invariant-checker suite alongside every figure")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -45,6 +57,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
 
 	opt := expt.Options{Seed: *seed, Scale: *scale}
+	if *chaosName != "" {
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		plan, err := chaos.Preset(*chaosName, cs)
+		if err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 2
+		}
+		opt.Chaos = plan
+		r.chaos = fmt.Sprintf("# chaos: plan %s, seed %d\n", plan.Name, plan.Seed)
+	}
+	if *check {
+		opt.Check = &chaos.Recorder{}
+	}
 	figs := []int{1, 2, 3, 4, 5, 6, 7}
 	if *fig != 0 {
 		if *fig < 1 || *fig > 7 {
@@ -96,6 +124,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(r.w, "# generated in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	if opt.Check != nil {
+		if opt.Check.Ok() {
+			fmt.Fprintf(r.w, "# invariants: ok\n")
+		} else {
+			fmt.Fprintf(stderr, "gridbench: %v\n", opt.Check.Err())
+			return 1
+		}
+	}
 	return r.exit
 }
 
@@ -104,6 +140,7 @@ type renderer struct {
 	w      io.Writer
 	stderr io.Writer
 	tsv    bool
+	chaos  string // banner line naming the armed fault plan, if any
 	exit   int
 }
 
@@ -111,6 +148,9 @@ type renderer struct {
 func (r *renderer) header(n int, title, sub string) {
 	fmt.Fprintf(r.w, "==== Figure %d: %s ====\n", n, title)
 	fmt.Fprintf(r.w, "# %s\n", sub)
+	if r.chaos != "" {
+		io.WriteString(r.w, r.chaos)
+	}
 }
 
 // tsvWriterTo is satisfied by the metrics tables.

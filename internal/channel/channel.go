@@ -23,8 +23,14 @@ import (
 // Channel is a shared broadcast medium. Any two transmissions that
 // overlap in time corrupt each other; both transmitters observe the
 // collision only at the end of their frame (collision detect).
+// InjectTransmit is the injection site covering one frame transmission
+// (see core.Injector): an injected error is a noise burst corrupting
+// the frame, an injected delay stretches the transmission.
+const InjectTransmit = "channel/transmit"
+
 type Channel struct {
 	eng    *sim.Engine
+	inj    core.Injector
 	active []*frame
 
 	// Successes and Collisions count completed and corrupted frames;
@@ -44,6 +50,10 @@ type frame struct {
 
 // New returns an idle channel on engine e.
 func New(e *sim.Engine) *Channel { return &Channel{eng: e} }
+
+// SetInjector installs a fault injector consulted on every transmission.
+// A nil injector (the default) disables injection.
+func (c *Channel) SetInjector(inj core.Injector) { c.inj = inj }
 
 // Busy reports whether a transmission is in flight — the carrier-sense
 // observable.
@@ -70,6 +80,15 @@ func (c *Channel) Utilization() float64 {
 // their success").
 func (c *Channel) Transmit(p *sim.Proc, ctx context.Context, d time.Duration) error {
 	f := &frame{}
+	// Chaos seam: a noise burst corrupts the frame regardless of other
+	// traffic; injected latency stretches the transmission (and so
+	// widens its collision window).
+	if fa := core.InjectAt(c.inj, InjectTransmit); !fa.Zero() {
+		d += fa.Delay
+		if fa.Err != nil {
+			f.corrupted = true
+		}
+	}
 	if len(c.active) > 0 {
 		f.corrupted = true
 		for _, other := range c.active {

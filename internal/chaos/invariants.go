@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// This file is the invariant-checker layer: mechanical assertions of
+// the paper's safety and liveness properties, run alongside any
+// experiment — with or without a fault plan armed. The checks are:
+//
+//   - carrier floor: Ethernet clients never drive the sensed resource
+//     below its carrier threshold for longer than one backoff epoch
+//     (dips happen — in-flight work completes after sensing — but the
+//     discipline must pull free capacity back above the floor);
+//   - progress: virtual time always advances — the run reaches its
+//     horizon instead of deadlocking early, and no client population
+//     burns unbounded events at a standing clock (livelock);
+//   - monotonicity: cumulative observables (jobs, transfers, files
+//     consumed) never decrease;
+//   - determinism: identical seeds yield identical series — asserted
+//     by tests via metrics.Series.Equal on double runs.
+
+// Violation is one observed breach of an invariant.
+type Violation struct {
+	// Check names the violated invariant ("carrier-floor", ...).
+	Check string
+	// At is the virtual time of detection.
+	At time.Duration
+	// Detail explains the breach.
+	Detail string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %v: %s", v.Check, v.At, v.Detail)
+}
+
+// Recorder accumulates violations across one or more experiment cells,
+// so a figure-level sweep can collect everything before failing.
+type Recorder struct {
+	Violations []Violation
+}
+
+// Add appends a violation.
+func (r *Recorder) Add(v Violation) { r.Violations = append(r.Violations, v) }
+
+// Ok reports whether no invariant was violated.
+func (r *Recorder) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when no invariant was violated, or an error naming up
+// to five of them.
+func (r *Recorder) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s):", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 5 {
+			fmt.Fprintf(&b, " ... and %d more", len(r.Violations)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", v)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Invariants runs a set of checks against one engine, sampling on a
+// virtual-time tick. Construct with NewInvariants, register checks,
+// call Start before the run and Finish after Run returns.
+type Invariants struct {
+	eng   *sim.Engine
+	rec   *Recorder
+	every time.Duration
+
+	ticks  []func(now time.Duration)
+	finals []func(now time.Duration)
+}
+
+// DefaultSampleEvery is the default invariant sampling cadence.
+const DefaultSampleEvery = time.Second
+
+// NewInvariants returns a checker sampling every sampleEvery of virtual
+// time ( <= 0 selects DefaultSampleEvery), recording violations into
+// rec (nil allocates a private recorder, readable via Recorder()).
+func NewInvariants(e *sim.Engine, rec *Recorder, sampleEvery time.Duration) *Invariants {
+	if rec == nil {
+		rec = &Recorder{}
+	}
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultSampleEvery
+	}
+	return &Invariants{eng: e, rec: rec, every: sampleEvery}
+}
+
+// Recorder returns the recorder violations are written to.
+func (inv *Invariants) Recorder() *Recorder { return inv.rec }
+
+// Err is shorthand for Recorder().Err().
+func (inv *Invariants) Err() error { return inv.rec.Err() }
+
+func (inv *Invariants) violate(check string, now time.Duration, format string, args ...any) {
+	inv.rec.Add(Violation{Check: check, At: now, Detail: fmt.Sprintf(format, args...)})
+}
+
+// CarrierFloor asserts the Ethernet safety property: the sensed free
+// capacity must not stay below the carrier floor for longer than
+// maxBelow (one backoff epoch). floor is a func so squeezed capacities
+// can lower the effective floor mid-run. One violation is recorded per
+// continuous below-floor excursion that exceeds the budget.
+func (inv *Invariants) CarrierFloor(name string, free func() int, floor func() int, maxBelow time.Duration) {
+	var below time.Duration // continuous time spent below the floor
+	reported := false
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		if free() >= floor() {
+			below = 0
+			reported = false
+			return
+		}
+		below += inv.every
+		if below > maxBelow && !reported {
+			reported = true
+			inv.violate("carrier-floor", now, "%s: free=%d below floor %d for %v (budget %v)",
+				name, free(), floor(), below, maxBelow)
+		}
+	})
+}
+
+// Monotone asserts that a cumulative observable never decreases.
+func (inv *Invariants) Monotone(name string, value func() float64) {
+	last := value()
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		v := value()
+		if v < last {
+			inv.violate("monotone", now, "%s decreased: %v -> %v", name, last, v)
+		}
+		last = v
+	})
+}
+
+// Horizon asserts liveness at Finish time: the run must have advanced
+// virtual time to at least window. A simulation that quiesces early has
+// deadlocked — every client parked forever with no timer left to free
+// it — which no retry discipline is ever allowed to do.
+func (inv *Invariants) Horizon(window time.Duration) {
+	inv.finals = append(inv.finals, func(now time.Duration) {
+		if now < window {
+			inv.violate("liveness", now, "run quiesced at %v, before the %v horizon: deadlock", now, window)
+		}
+	})
+}
+
+// EventBudget asserts that no sampling interval burns more than
+// maxPerTick scheduling events: a bound on livelock, where virtual time
+// technically advances but the population spins pathologically. Budgets
+// should be generous — Fixed clients legitimately hammer.
+func (inv *Invariants) EventBudget(maxPerTick int64) {
+	last := inv.eng.Events()
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		n := inv.eng.Events()
+		if n-last > maxPerTick {
+			inv.violate("event-budget", now, "%d events in one %v tick (budget %d): livelock",
+				n-last, inv.every, maxPerTick)
+		}
+		last = n
+	})
+}
+
+// SeriesMonotone is a post-run convenience: it records a violation if a
+// cumulative series ever decreases.
+func (inv *Invariants) SeriesMonotone(s *metrics.Series) {
+	inv.finals = append(inv.finals, func(now time.Duration) {
+		if !s.Monotone() {
+			inv.violate("monotone", now, "series %s is not monotone", s.Name)
+		}
+	})
+}
+
+// Start schedules the sampling loop. It must be called before the
+// engine runs (or under the engine token); sampling stops when ctx is
+// canceled, letting the engine quiesce at the end of the window.
+func (inv *Invariants) Start(ctx context.Context) {
+	var tick func()
+	tick = func() {
+		if ctx.Err() != nil {
+			return
+		}
+		now := inv.eng.Elapsed()
+		for _, f := range inv.ticks {
+			f(now)
+		}
+		inv.eng.Schedule(inv.every, tick)
+	}
+	inv.eng.Schedule(inv.every, tick)
+}
+
+// Finish runs the end-of-run checks. Call it after Engine.Run returns.
+func (inv *Invariants) Finish() {
+	now := inv.eng.Elapsed()
+	for _, f := range inv.finals {
+		f(now)
+	}
+}

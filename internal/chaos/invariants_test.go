@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// runFor keeps the engine alive until the horizon by scheduling an
+// end-of-window no-op, then runs it to quiescence.
+func runFor(t *testing.T, e *sim.Engine, window time.Duration) {
+	t.Helper()
+	e.Schedule(window, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneDetectsDecrease(t *testing.T) {
+	e := sim.New(1)
+	rec := &Recorder{}
+	inv := NewInvariants(e, rec, time.Second)
+	v := 0.0
+	inv.Monotone("jobs", func() float64 { return v })
+	e.Schedule(1500*time.Millisecond, func() { v = 10 })
+	e.Schedule(2500*time.Millisecond, func() { v = 3 }) // decrease!
+	ctx, cancel := context.WithCancel(context.Background())
+	inv.Start(ctx)
+	e.Schedule(5*time.Second, cancel)
+	runFor(t, e, 5*time.Second)
+	inv.Finish()
+	if rec.Ok() {
+		t.Fatal("decreasing observable not flagged")
+	}
+	if got := rec.Violations[0].Check; got != "monotone" {
+		t.Errorf("check = %q, want monotone", got)
+	}
+}
+
+func TestMonotonePassesOnIncrease(t *testing.T) {
+	e := sim.New(1)
+	inv := NewInvariants(e, nil, time.Second)
+	v := 0.0
+	inv.Monotone("jobs", func() float64 { return v })
+	for i := 1; i <= 4; i++ {
+		i := i
+		e.Schedule(time.Duration(i)*1500*time.Millisecond, func() { v = float64(i * 10) })
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	inv.Start(ctx)
+	e.Schedule(10*time.Second, cancel)
+	runFor(t, e, 10*time.Second)
+	inv.Finish()
+	if err := inv.Err(); err != nil {
+		t.Fatalf("clean monotone run flagged: %v", err)
+	}
+}
+
+func TestCarrierFloorFlagsSustainedExcursion(t *testing.T) {
+	e := sim.New(1)
+	rec := &Recorder{}
+	inv := NewInvariants(e, rec, time.Second)
+	free := 100
+	inv.CarrierFloor("fds", func() int { return free }, func() int { return 50 }, 5*time.Second)
+	e.Schedule(10*time.Second, func() { free = 10 }) // sustained dip, never recovers
+	ctx, cancel := context.WithCancel(context.Background())
+	inv.Start(ctx)
+	e.Schedule(30*time.Second, cancel)
+	runFor(t, e, 30*time.Second)
+	inv.Finish()
+	if rec.Ok() {
+		t.Fatal("sustained below-floor excursion not flagged")
+	}
+	if got := rec.Violations[0].Check; got != "carrier-floor" {
+		t.Errorf("check = %q, want carrier-floor", got)
+	}
+	if n := len(rec.Violations); n != 1 {
+		t.Errorf("%d violations for one continuous excursion, want 1", n)
+	}
+}
+
+func TestCarrierFloorToleratesBriefDip(t *testing.T) {
+	e := sim.New(1)
+	rec := &Recorder{}
+	inv := NewInvariants(e, rec, time.Second)
+	free := 100
+	inv.CarrierFloor("fds", func() int { return free }, func() int { return 50 }, 5*time.Second)
+	e.Schedule(10*time.Second, func() { free = 10 })
+	e.Schedule(13*time.Second, func() { free = 80 }) // recovers inside the budget
+	ctx, cancel := context.WithCancel(context.Background())
+	inv.Start(ctx)
+	e.Schedule(30*time.Second, cancel)
+	runFor(t, e, 30*time.Second)
+	inv.Finish()
+	if !rec.Ok() {
+		t.Fatalf("brief dip flagged: %v", rec.Err())
+	}
+}
+
+func TestHorizonFlagsEarlyQuiesce(t *testing.T) {
+	e := sim.New(1)
+	rec := &Recorder{}
+	inv := NewInvariants(e, rec, time.Second)
+	inv.Horizon(time.Minute)
+	// No work scheduled beyond 10s: the "run" deadlocks early.
+	runFor(t, e, 10*time.Second)
+	inv.Finish()
+	if rec.Ok() {
+		t.Fatal("early quiesce not flagged as deadlock")
+	}
+	if got := rec.Violations[0].Check; got != "liveness" {
+		t.Errorf("check = %q, want liveness", got)
+	}
+}
+
+func TestEventBudgetFlagsLivelock(t *testing.T) {
+	e := sim.New(1)
+	rec := &Recorder{}
+	inv := NewInvariants(e, rec, time.Second)
+	inv.EventBudget(100)
+	// Spin thousands of zero-advance events inside one tick.
+	var spin func(n int)
+	spin = func(n int) {
+		if n == 0 {
+			return
+		}
+		e.Schedule(0, func() { spin(n - 1) })
+	}
+	e.Schedule(1500*time.Millisecond, func() { spin(1000) })
+	ctx, cancel := context.WithCancel(context.Background())
+	inv.Start(ctx)
+	e.Schedule(5*time.Second, cancel)
+	runFor(t, e, 5*time.Second)
+	inv.Finish()
+	if rec.Ok() {
+		t.Fatal("event spike not flagged as livelock")
+	}
+	if got := rec.Violations[0].Check; got != "event-budget" {
+		t.Errorf("check = %q, want event-budget", got)
+	}
+}
+
+func TestSeriesMonotoneFinal(t *testing.T) {
+	e := sim.New(1)
+	rec := &Recorder{}
+	inv := NewInvariants(e, rec, time.Second)
+	s := metrics.NewSeries("jobs")
+	s.Add(0, 1)
+	s.Add(time.Second, 5)
+	s.Add(2*time.Second, 2)
+	inv.SeriesMonotone(s)
+	inv.Finish()
+	if rec.Ok() {
+		t.Fatal("non-monotone series not flagged")
+	}
+}
+
+func TestRecorderErrTruncates(t *testing.T) {
+	rec := &Recorder{}
+	if rec.Err() != nil {
+		t.Fatal("empty recorder returned an error")
+	}
+	for i := 0; i < 8; i++ {
+		rec.Add(Violation{Check: "monotone", Detail: "x"})
+	}
+	err := rec.Err()
+	if err == nil {
+		t.Fatal("nonempty recorder returned nil")
+	}
+	if !strings.Contains(err.Error(), "8 invariant violation(s)") ||
+		!strings.Contains(err.Error(), "and 3 more") {
+		t.Errorf("error = %q", err)
+	}
+}

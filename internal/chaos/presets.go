@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/condor"
+	"repro/internal/fsbuffer"
+	"repro/internal/replica"
+)
+
+// allSites lists every injection site across the substrates, so generic
+// presets bite whichever scenario they are armed against.
+var allSites = []string{
+	condor.InjectConnect,
+	condor.InjectService,
+	fsbuffer.InjectWrite,
+	replica.InjectFetch,
+	channel.InjectTransmit,
+}
+
+// presets maps plan names to constructors. Windows are fractional so
+// the same plan stresses a 30-second smoke run and a 30-minute paper
+// run alike; the seed jitters where inside the run each fault lands.
+var presets = map[string]func(seed int64) *Plan{
+	// bursts: a storm of transient errors on every failure site for
+	// roughly a third of the run.
+	"bursts": func(seed int64) *Plan {
+		p := &Plan{Name: "bursts", Seed: seed}
+		for _, site := range allSites {
+			p.Specs = append(p.Specs, ErrorBurst{
+				Window: Window{FracStart: 0.15, FracDuration: 0.35, FracStartJitter: 0.3},
+				Site:   site,
+				Prob:   0.35,
+			})
+		}
+		return p
+	},
+	// latency: every operation pays extra, jittered latency for half
+	// the run — a congested network, not a broken one.
+	"latency": func(seed int64) *Plan {
+		p := &Plan{Name: "latency", Seed: seed}
+		for _, site := range allSites {
+			p.Specs = append(p.Specs, LatencySpike{
+				Window: Window{FracStart: 0.1, FracDuration: 0.5, FracStartJitter: 0.3},
+				Site:   site,
+				Extra:  400 * time.Millisecond,
+				Jitter: 800 * time.Millisecond,
+			})
+		}
+		return p
+	},
+	// squeeze: the contended resource itself shrinks mid-run — the FD
+	// table to a quarter, the buffer to a third — then recovers.
+	"squeeze": func(seed int64) *Plan {
+		return &Plan{Name: "squeeze", Seed: seed, Specs: []Spec{
+			FDSqueeze{Window: Window{FracStart: 0.3, FracDuration: 0.3, FracStartJitter: 0.2}, Factor: 0.25},
+			BufferSqueeze{Window: Window{FracStart: 0.3, FracDuration: 0.3, FracStartJitter: 0.2}, Factor: 0.33},
+		}}
+	},
+	// flap: a healthy replica wedges into a black hole and back on a
+	// short cadence for most of the run.
+	"flap": func(seed int64) *Plan {
+		return &Plan{Name: "flap", Seed: seed, Specs: []Spec{
+			ServerFlap{Window: Window{FracStart: 0.15, FracDuration: 0.6, FracStartJitter: 0.2},
+				Server: 1, FracPeriod: 0.05},
+		}}
+	},
+	// crashes: the schedd is killed outright three times, evenly
+	// spaced — broadcast jams on demand.
+	"crashes": func(seed int64) *Plan {
+		return &Plan{Name: "crashes", Seed: seed, Specs: []Spec{
+			ScheddCrash{FracAt: 0.2, FracEvery: 0.25, Count: 3},
+		}}
+	},
+	// mixed: a lighter dose of everything at once.
+	"mixed": func(seed int64) *Plan {
+		p := &Plan{Name: "mixed", Seed: seed, Specs: []Spec{
+			FDSqueeze{Window: Window{FracStart: 0.5, FracDuration: 0.2, FracStartJitter: 0.2}, Factor: 0.4},
+			BufferSqueeze{Window: Window{FracStart: 0.5, FracDuration: 0.2, FracStartJitter: 0.2}, Factor: 0.5},
+			ServerFlap{Window: Window{FracStart: 0.4, FracDuration: 0.4, FracStartJitter: 0.2},
+				Server: 1, FracPeriod: 0.08},
+			ScheddCrash{FracAt: 0.3, Count: 1},
+		}}
+		for _, site := range allSites {
+			p.Specs = append(p.Specs, ErrorBurst{
+				Window: Window{FracStart: 0.1, FracDuration: 0.25, FracStartJitter: 0.4},
+				Site:   site,
+				Prob:   0.2,
+			})
+			p.Specs = append(p.Specs, LatencySpike{
+				Window: Window{FracStart: 0.6, FracDuration: 0.25, FracStartJitter: 0.1},
+				Site:   site,
+				Extra:  200 * time.Millisecond,
+				Jitter: 400 * time.Millisecond,
+			})
+		}
+		return p
+	},
+}
+
+// Names lists the available preset plans, sorted.
+func Names() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset returns the named plan with the given seed, or an error naming
+// the available plans.
+func Preset(name string, seed int64) (*Plan, error) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown plan %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return mk(seed), nil
+}

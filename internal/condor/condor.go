@@ -152,6 +152,17 @@ type FDTable struct {
 // NewFDTable returns a table with the given capacity.
 func NewFDTable(capacity int) *FDTable { return &FDTable{capacity: capacity} }
 
+// SetCapacity retunes the table size at runtime (an administrator
+// shrinking fs.file-max, or a fault plan squeezing the resource).
+// Shrinking below InUse is allowed: Free goes negative and every new
+// allocation fails until holders release, exactly like the real sysctl.
+func (t *FDTable) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	t.capacity = n
+}
+
 // Free reports available descriptors — the observable used by the
 // Ethernet submitter's carrier sense (/proc/sys/fs/file-nr).
 func (t *FDTable) Free() int { return t.capacity - t.inUse }
@@ -180,6 +191,18 @@ func (t *FDTable) Release(n int) {
 	}
 }
 
+// Injection sites consulted by this substrate (see core.Injector).
+const (
+	// InjectConnect covers the client's attempt to reach the schedd:
+	// an injected error is a refused/reset connection, an injected
+	// delay is network or accept-queue latency.
+	InjectConnect = "condor/connect"
+	// InjectService covers the job-transfer phase: an injected error
+	// resets the connection mid-transfer, an injected delay slows the
+	// service.
+	InjectService = "condor/service"
+)
+
 // Errors distinguishing submission failure modes; all are collisions in
 // the Ethernet sense (detected after consuming the resource).
 var (
@@ -196,6 +219,7 @@ type Schedd struct {
 	eng  *sim.Engine
 	cfg  Config
 	fds  *FDTable
+	inj  core.Injector
 	down bool
 
 	slots *sim.Resource
@@ -232,8 +256,17 @@ func NewCluster(e *sim.Engine, cfg Config) *Cluster {
 	return &Cluster{Eng: e, Cfg: cfg, FDs: fds, Schedd: s}
 }
 
+// SetInjector installs a fault injector consulted at this cluster's
+// failure sites. A nil injector (the default) disables injection.
+func (c *Cluster) SetInjector(inj core.Injector) { c.Schedd.inj = inj }
+
 // Down reports whether the schedd is currently crashed.
 func (s *Schedd) Down() bool { return s.down }
+
+// Kill crashes the schedd as if it had exhausted a resource: every live
+// connection is reset and the daemon restarts after RestartDelay.
+// Killing an already-down schedd is a no-op. It exists for fault plans.
+func (s *Schedd) Kill() { s.crash() }
 
 // StartHousekeeping begins the schedd's periodic background work, which
 // transiently needs HousekeepFDs descriptors; starvation crashes the
@@ -264,6 +297,21 @@ func (c *Cluster) StartHousekeeping(ctx context.Context) {
 func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	// Chaos seam: a fault plan may slow or refuse the connection here,
+	// upstream of the organic failure modes below.
+	if f := core.InjectAt(s.inj, InjectConnect); !f.Zero() {
+		if f.Delay > 0 {
+			if err := p.Sleep(ctx, f.Delay); err != nil {
+				return err
+			}
+		}
+		if f.Err != nil {
+			if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
+				return err
+			}
+			return core.Collision("schedd", f.Err)
+		}
 	}
 	// The client process must allocate its own descriptors — program
 	// text, the job file, logs, then sockets. This is the unmanaged
@@ -329,6 +377,17 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 	// disk of the submit machine are themselves shared resources.
 	d := time.Duration(float64(s.cfg.ServiceTime) * (1 + s.cfg.CPULoad*float64(len(s.conns))))
 	d += time.Duration(float64(d) * s.cfg.ServiceJitter * (2*p.Rand() - 1))
+	// Chaos seam: a fault plan may stretch the transfer or reset the
+	// connection mid-service, like the organic crash path.
+	if f := core.InjectAt(s.inj, InjectService); !f.Zero() {
+		d += f.Delay
+		if f.Err != nil {
+			if err := p.Sleep(connCtx, d); err != nil {
+				return s.submitErr(ctx, err)
+			}
+			return core.Collision("schedd", f.Err)
+		}
+	}
 	if err := p.Sleep(connCtx, d); err != nil {
 		return s.submitErr(ctx, err)
 	}

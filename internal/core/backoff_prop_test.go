@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests for the paper's backoff (§4), driven by seeded PRNG
+// streams rather than hand-picked values: for every seed, every delay
+// drawn from the default schedule stays inside its envelope, the
+// random factor stays in [1,2), and stripping the randomization leaves
+// an exactly reproducible doubling sequence.
+
+// TestQuickBackoffSeededEnvelope: with the paper's defaults and a real
+// seeded PRNG, the i-th delay is in [ideal, 2*ideal) where ideal is
+// the doubled-and-capped base — so every delay lies in [Base, 2*Cap).
+func TestQuickBackoffSeededEnvelope(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		b := NewBackoff(rnd.Float64)
+		ideal := time.Duration(0)
+		for n := 0; n < 40; n++ {
+			if ideal == 0 {
+				ideal = b.Base
+			} else if ideal < b.Cap {
+				ideal *= 2
+				if ideal > b.Cap {
+					ideal = b.Cap
+				}
+			}
+			d := b.Next()
+			if d < ideal || d >= 2*ideal {
+				t.Logf("seed %d attempt %d: delay %v outside [%v, %v)", seed, n, d, ideal, 2*ideal)
+				return false
+			}
+			if d < b.Base || d >= 2*b.Cap {
+				t.Logf("seed %d attempt %d: delay %v outside global [%v, %v)", seed, n, d, b.Base, 2*b.Cap)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackoffFactorRange: the implied random factor d/ideal of
+// every issued delay is in [RandMin, RandMax) for arbitrary seeds.
+func TestQuickBackoffFactorRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		b := NewBackoff(rnd.Float64)
+		ideal := time.Duration(0)
+		for n := 0; n < 30; n++ {
+			if ideal == 0 {
+				ideal = b.Base
+			} else if ideal < b.Cap {
+				ideal *= 2
+				if ideal > b.Cap {
+					ideal = b.Cap
+				}
+			}
+			factor := float64(b.Next()) / float64(ideal)
+			if factor < b.RandMin || factor >= b.RandMax {
+				t.Logf("seed %d attempt %d: factor %v outside [%v, %v)", seed, n, factor, b.RandMin, b.RandMax)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackoffUnrandomizedExact: with randomization disabled
+// (RandMin == RandMax == 1, the cascading-collision ablation), the
+// sequence is exactly Base, 2*Base, 4*Base, ... capped — independent
+// of the random stream.
+func TestQuickBackoffUnrandomizedExact(t *testing.T) {
+	f := func(seed int64, baseMs uint16) bool {
+		base := time.Duration(baseMs%5000+1) * time.Millisecond
+		rnd := rand.New(rand.NewSource(seed))
+		b := &Backoff{Base: base, Cap: DefaultCap, Factor: 2,
+			RandMin: 1, RandMax: 1, Rand: rnd.Float64}
+		b.Reset()
+		want := time.Duration(0)
+		for n := 0; n < 30; n++ {
+			if want == 0 {
+				want = base
+			} else if want < b.Cap {
+				want *= 2
+				if want > b.Cap {
+					want = b.Cap
+				}
+			}
+			if d := b.Next(); d != want {
+				t.Logf("seed %d base %v attempt %d: %v != %v", seed, base, n, d, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackoffPeekAgreesWithNext: Peek always predicts the
+// pre-randomization delay the next call to Next will scale, and never
+// advances the sequence.
+func TestQuickBackoffPeekAgreesWithNext(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		b := NewBackoff(rnd.Float64)
+		for n := 0; n < 30; n++ {
+			p1 := b.Peek()
+			if p2 := b.Peek(); p2 != p1 {
+				t.Logf("seed %d attempt %d: Peek advanced: %v then %v", seed, n, p1, p2)
+				return false
+			}
+			d := b.Next()
+			if d < p1 || d >= 2*p1 {
+				t.Logf("seed %d attempt %d: Next %v outside Peek envelope [%v, %v)", seed, n, d, p1, 2*p1)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackoffResetReplays: after Reset, the same random stream
+// replays the same delays — the sequence has no hidden state beyond
+// (cur, attempts).
+func TestQuickBackoffResetReplays(t *testing.T) {
+	f := func(seed int64) bool {
+		draw := func() []time.Duration {
+			rnd := rand.New(rand.NewSource(seed))
+			b := NewBackoff(rnd.Float64)
+			out := make([]time.Duration, 20)
+			for i := range out {
+				out[i] = b.Next()
+			}
+			b.Reset()
+			if b.Attempts() != 0 {
+				return nil
+			}
+			return out
+		}
+		a, b := draw(), draw()
+		if a == nil || b == nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// This file defines the seam between the substrates and the
+// fault-injection subsystem (internal/chaos). Substrates consult an
+// Injector at each of their natural failure sites; with no injector
+// installed the consultation is free and nothing changes. The interface
+// lives here, in the leaf package every substrate already imports, so
+// that internal/chaos can depend on the substrates (to squeeze their
+// capacities, flap their servers, and crash their daemons) without a
+// dependency cycle.
+
+// ErrInjected marks a failure manufactured by a fault-injection plan
+// rather than by the simulated physics. Substrates wrap it as a
+// collision, so disciplines observe injected faults exactly as they
+// observe organic ones — the paper's point that failure detail is
+// unavailable to the client.
+var ErrInjected = errors.New("injected fault")
+
+// Fault is an injector's verdict for one operation at one site: add
+// Delay of extra latency, then — if Err is non-nil — fail the operation
+// with it. The zero Fault means "proceed untouched".
+type Fault struct {
+	// Delay is extra latency the operation must pay before proceeding
+	// (or before failing, when Err is also set).
+	Delay time.Duration
+	// Err, when non-nil, aborts the operation. Substrates surface it
+	// through their existing failure paths, typically as a collision.
+	Err error
+}
+
+// Zero reports whether the fault changes nothing.
+func (f Fault) Zero() bool { return f.Delay == 0 && f.Err == nil }
+
+// Injector decides the fate of operations at named sites. Site names
+// are constants exported by each substrate (condor.InjectConnect,
+// fsbuffer.InjectWrite, ...). Implementations must be deterministic
+// functions of virtual time and seeded randomness — never of the wall
+// clock — so simulations stay bit-for-bit reproducible.
+type Injector interface {
+	Inject(site string) Fault
+}
+
+// InjectAt consults inj at site, treating a nil injector as no fault.
+// It is the one-liner substrates call at their failure sites.
+func InjectAt(inj Injector, site string) Fault {
+	if inj == nil {
+		return Fault{}
+	}
+	return inj.Inject(site)
+}

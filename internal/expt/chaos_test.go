@@ -1,0 +1,246 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+// The chaos sweeps below re-run each scenario under ~20 seeded fault
+// plans (every preset crossed with several schedule seeds) and assert
+// that the paper's qualitative result — Ethernet >= Aloha >= Fixed —
+// survives injected faults, and that the invariant suite stays clean.
+// Individual plans get a little slack (a well-aimed burst can nick any
+// discipline); the aggregate over all plans must be strictly ordered.
+
+// sweepOrder lists the disciplines worst-to-best, so index i of the
+// result arrays below is [fixed, aloha, ethernet].
+var sweepOrder = []core.Discipline{core.Fixed, core.Aloha, core.Ethernet}
+
+// chaosPlans returns every preset armed with each of the given seeds.
+func chaosPlans(t *testing.T, seeds ...int64) []*chaos.Plan {
+	t.Helper()
+	var plans []*chaos.Plan
+	for _, name := range chaos.Names() {
+		for _, s := range seeds {
+			p, err := chaos.Preset(name, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+	}
+	return plans
+}
+
+// orderedWithSlack checks eth >= aloha*slack && aloha >= fixed*slack.
+func orderedWithSlack(eth, aloha, fixed float64, slack float64) bool {
+	return eth >= aloha*slack && aloha >= fixed*slack
+}
+
+func TestChaosSweepCondor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is not short")
+	}
+	opt := Options{Scale: 0.1}
+	window := opt.scaleD(SubmitWindow)
+	n := opt.scaleN(400)
+	plans := chaosPlans(t, 1, 2, 3)
+	if len(plans) < 18 {
+		t.Fatalf("only %d plans", len(plans))
+	}
+	rec := &chaos.Recorder{}
+	var sum [3]float64
+	for _, plan := range plans {
+		var jobs [3]float64
+		for i, d := range sweepOrder {
+			subCfg, clCfg := scaledConfigs(opt, d)
+			j, _ := SubmitCellChaos(opt.seed(), n, window, subCfg, clCfg, plan, rec)
+			jobs[i] = float64(j)
+			sum[i] += float64(j)
+		}
+		t.Logf("%-8s seed=%d: fixed=%5.0f aloha=%5.0f ethernet=%5.0f",
+			plan.Name, plan.Seed, jobs[0], jobs[1], jobs[2])
+		if !orderedWithSlack(jobs[2], jobs[1], jobs[0], 0.85) {
+			t.Errorf("plan %s seed %d: ordering broken: fixed=%v aloha=%v ethernet=%v",
+				plan.Name, plan.Seed, jobs[0], jobs[1], jobs[2])
+		}
+	}
+	if !(sum[2] > sum[1] && sum[1] > sum[0]) {
+		t.Errorf("aggregate ordering broken: fixed=%v aloha=%v ethernet=%v", sum[0], sum[1], sum[2])
+	}
+	if err := rec.Err(); err != nil {
+		t.Errorf("invariants under chaos: %v", err)
+	}
+}
+
+func TestChaosSweepBuffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is not short")
+	}
+	opt := Options{Scale: 0.1}
+	window := opt.scaleD(BufferWindow)
+	n := 25 // paper-scale producer count; the cell itself is cheap
+	plans := chaosPlans(t, 1, 2, 3)
+	rec := &chaos.Recorder{}
+	var sum [3]float64
+	for _, plan := range plans {
+		var consumed [3]float64
+		for i, d := range sweepOrder {
+			b := BufferCell(opt.seed(), n, window, d, plan, rec)
+			consumed[i] = float64(b.Consumed)
+			sum[i] += float64(b.Consumed)
+		}
+		t.Logf("%-8s seed=%d: fixed=%5.0f aloha=%5.0f ethernet=%5.0f",
+			plan.Name, plan.Seed, consumed[0], consumed[1], consumed[2])
+		if !orderedWithSlack(consumed[2], consumed[1], consumed[0], 0.85) {
+			t.Errorf("plan %s seed %d: ordering broken: fixed=%v aloha=%v ethernet=%v",
+				plan.Name, plan.Seed, consumed[0], consumed[1], consumed[2])
+		}
+	}
+	if !(sum[2] > sum[1] && sum[1] > sum[0]) {
+		t.Errorf("aggregate ordering broken: fixed=%v aloha=%v ethernet=%v", sum[0], sum[1], sum[2])
+	}
+	if err := rec.Err(); err != nil {
+		t.Errorf("invariants under chaos: %v", err)
+	}
+}
+
+// fixedReaderConfig models the paper's Fixed reader: no per-attempt
+// timeout at all, so a black hole absorbs the client until the outer
+// work-unit budget expires.
+func fixedReaderConfig(window time.Duration) replica.ReaderConfig {
+	rcfg := replica.DefaultReaderConfig(core.Fixed)
+	rcfg.OuterLimit = window
+	rcfg.DataTimeout = window
+	return rcfg
+}
+
+func TestChaosSweepReader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is not short")
+	}
+	opt := Options{Scale: 1.0}
+	window := opt.scaleD(ReaderWindow)
+	plans := chaosPlans(t, 1, 2, 3)
+	rec := &chaos.Recorder{}
+	mk := func(d core.Discipline) replica.ReaderConfig {
+		if d == core.Fixed {
+			return fixedReaderConfig(window)
+		}
+		rcfg := replica.DefaultReaderConfig(d)
+		rcfg.OuterLimit = window
+		return rcfg
+	}
+	var sum [3]float64
+	for _, plan := range plans {
+		var transfers [3]float64
+		for i, d := range sweepOrder {
+			tl := ReaderCellChaos(opt.seed(), window, mk(d), plan, rec)
+			transfers[i] = float64(tl.TotalTransfers)
+			sum[i] += float64(tl.TotalTransfers)
+		}
+		t.Logf("%-8s seed=%d: fixed=%5.0f aloha=%5.0f ethernet=%5.0f",
+			plan.Name, plan.Seed, transfers[0], transfers[1], transfers[2])
+		if !orderedWithSlack(transfers[2], transfers[1], transfers[0], 0.85) {
+			t.Errorf("plan %s seed %d: ordering broken: fixed=%v aloha=%v ethernet=%v",
+				plan.Name, plan.Seed, transfers[0], transfers[1], transfers[2])
+		}
+	}
+	if !(sum[2] > sum[1] && sum[1] > sum[0]) {
+		t.Errorf("aggregate ordering broken: fixed=%v aloha=%v ethernet=%v", sum[0], sum[1], sum[2])
+	}
+	if err := rec.Err(); err != nil {
+		t.Errorf("invariants under chaos: %v", err)
+	}
+}
+
+// TestChaosCellDeterminism re-runs one cell of each scenario under the
+// same plan and seed and demands bit-identical results: fault schedules
+// are drawn from the plan's own RNG, so they must never perturb (or be
+// perturbed by) the client RNG.
+func TestChaosCellDeterminism(t *testing.T) {
+	plan := func() *chaos.Plan {
+		p, err := chaos.Preset("mixed", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	opt := Options{Scale: 0.1}
+	subCfg, clCfg := scaledConfigs(opt, core.Ethernet)
+	window := opt.scaleD(SubmitWindow)
+	j1, c1 := SubmitCellChaos(7, 40, window, subCfg, clCfg, plan(), nil)
+	j2, c2 := SubmitCellChaos(7, 40, window, subCfg, clCfg, plan(), nil)
+	if j1 != j2 || c1 != c2 {
+		t.Errorf("condor cell diverged: (%d,%d) vs (%d,%d)", j1, c1, j2, c2)
+	}
+
+	bw := opt.scaleD(BufferWindow)
+	b1 := BufferCell(7, 25, bw, core.Ethernet, plan(), nil)
+	b2 := BufferCell(7, 25, bw, core.Ethernet, plan(), nil)
+	if b1.Consumed != b2.Consumed || b1.Collisions != b2.Collisions || b1.Completed != b2.Completed {
+		t.Errorf("buffer cell diverged: %+v vs %+v",
+			[3]int64{b1.Consumed, b1.Collisions, b1.Completed},
+			[3]int64{b2.Consumed, b2.Collisions, b2.Completed})
+	}
+
+	rw := opt.scaleD(ReaderWindow)
+	rcfg := replica.DefaultReaderConfig(core.Ethernet)
+	rcfg.OuterLimit = rw
+	tl1 := ReaderCellChaos(7, rw, rcfg, plan(), nil)
+	tl2 := ReaderCellChaos(7, rw, rcfg, plan(), nil)
+	if tl1.TotalTransfers != tl2.TotalTransfers || tl1.TotalDeferrals != tl2.TotalDeferrals {
+		t.Errorf("reader cell diverged: (%d,%d) vs (%d,%d)",
+			tl1.TotalTransfers, tl1.TotalDeferrals, tl2.TotalTransfers, tl2.TotalDeferrals)
+	}
+	if !tl1.Transfers.Equal(tl2.Transfers) {
+		t.Error("reader transfer series diverged between identical seeded runs")
+	}
+}
+
+// TestChaosInvariantsCleanWithoutChaos guards the checker itself: a
+// fault-free run of every scenario must pass the whole invariant suite,
+// at paper scale ratios, for every discipline that carries one.
+func TestChaosInvariantsCleanWithoutChaos(t *testing.T) {
+	opt := Options{Scale: 0.1}
+	rec := &chaos.Recorder{}
+	for _, d := range core.Disciplines {
+		subCfg, clCfg := scaledConfigs(opt, d)
+		SubmitCellChaos(1, opt.scaleN(400), opt.scaleD(SubmitWindow), subCfg, clCfg, nil, rec)
+		BufferCell(1, 25, opt.scaleD(BufferWindow), d, nil, rec)
+	}
+	rcfg := replica.DefaultReaderConfig(core.Ethernet)
+	rcfg.OuterLimit = opt.scaleD(ReaderWindow)
+	ReaderCellChaos(1, rcfg.OuterLimit, rcfg, nil, rec)
+	if err := rec.Err(); err != nil {
+		t.Errorf("fault-free run violated invariants: %v", err)
+	}
+}
+
+// TestFDTableSetCapacity covers the capacity squeeze seam directly:
+// shrinking below in-use drives Free negative (carrier sense must see
+// the overload), and restoring recovers exactly.
+func TestFDTableSetCapacity(t *testing.T) {
+	fd := condor.NewFDTable(100)
+	if !fd.TryAcquire(60) {
+		t.Fatal("acquire failed")
+	}
+	fd.SetCapacity(40)
+	if got := fd.Free(); got != -20 {
+		t.Errorf("Free after squeeze = %d, want -20", got)
+	}
+	fd.SetCapacity(100)
+	if got := fd.Free(); got != 40 {
+		t.Errorf("Free after restore = %d, want 40", got)
+	}
+	fd.SetCapacity(-5)
+	if got := fd.Capacity(); got != 0 {
+		t.Errorf("Capacity clamped = %d, want 0", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/condor"
 	"repro/internal/core"
 	"repro/internal/fsbuffer"
@@ -25,6 +26,13 @@ type Options struct {
 	// (benchmarks, CI). 1.0 reproduces the paper's parameters; 0.1 runs
 	// roughly 100× less work. Zero means 1.0.
 	Scale float64
+	// Chaos, when non-nil, arms the fault plan in every simulation cell
+	// the figure runs, so the figure is regenerated under injected
+	// faults. The plan's own seed keeps the schedule reproducible.
+	Chaos *chaos.Plan
+	// Check, when non-nil, runs the invariant-checker suite alongside
+	// every cell, appending any violations (see chaos.Recorder.Err).
+	Check *chaos.Recorder
 }
 
 func (o Options) seed() int64 {
@@ -81,11 +89,25 @@ var Fig1Sweep = []int{10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
 // schedd crashes. It is the building block of Figure 1 and of the
 // threshold ablation benchmarks.
 func SubmitCell(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config) (jobs, crashes int64) {
+	return SubmitCellChaos(seed, n, window, subCfg, clCfg, nil, nil)
+}
+
+// SubmitCellChaos is SubmitCell with a fault plan armed against the
+// cluster and the invariant suite recording into rec; either may be
+// nil. It is the building block of the chaos sweep tests.
+func SubmitCellChaos(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config, plan *chaos.Plan, rec *chaos.Recorder) (jobs, crashes int64) {
 	e := sim.New(seed)
 	cl := condor.NewCluster(e, clCfg)
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	cl.StartHousekeeping(ctx)
+	if plan != nil {
+		plan.Arm(e, chaos.Targets{Window: window, Cluster: cl})
+	}
+	inv := condorInvariants(e, rec, cl, subCfg, window)
+	if inv != nil {
+		inv.Start(ctx)
+	}
 	for i := 0; i < n; i++ {
 		e.Spawn("submitter", func(p *sim.Proc) {
 			var sub condor.Submitter
@@ -95,7 +117,50 @@ func SubmitCell(seed int64, n int, window time.Duration, subCfg condor.Submitter
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	if inv != nil {
+		inv.Finish()
+	}
 	return cl.Schedd.Jobs, cl.Schedd.Crashes
+}
+
+// invariantWindow bounds how long the carrier floor may stay breached:
+// one backoff epoch, scaled down with short experiment windows.
+func invariantWindow(window time.Duration) time.Duration {
+	mb := window / 10
+	if mb < 10*time.Second {
+		mb = 10 * time.Second
+	}
+	if mb > 2*time.Minute {
+		mb = 2 * time.Minute
+	}
+	return mb
+}
+
+// condorInvariants wires the submit-scenario invariant suite: jobs and
+// crashes are cumulative, the run must reach its horizon, and Ethernet
+// clients must never hold the FD table deep below the carrier floor
+// for longer than a backoff epoch. Returns nil when rec is nil.
+func condorInvariants(e *sim.Engine, rec *chaos.Recorder, cl *condor.Cluster, subCfg condor.SubmitterConfig, window time.Duration) *chaos.Invariants {
+	if rec == nil {
+		return nil
+	}
+	inv := chaos.NewInvariants(e, rec, 0)
+	inv.Monotone("jobs", func() float64 { return float64(cl.Schedd.Jobs) })
+	inv.Monotone("crashes", func() float64 { return float64(cl.Schedd.Crashes) })
+	inv.Horizon(window)
+	if subCfg.Discipline == core.Ethernet {
+		// The floor halves under capacity squeezes: the discipline can
+		// only preserve what the kernel still provides.
+		floor := func() int {
+			f := subCfg.Threshold
+			if c := cl.FDs.Capacity(); f > c {
+				f = c
+			}
+			return f / 2
+		}
+		inv.CarrierFloor("file-nr", cl.FDs.Free, floor, invariantWindow(window))
+	}
+	return inv
 }
 
 // scaledConfigs returns submitter and cluster configurations whose FD
@@ -131,7 +196,7 @@ func Fig1(opt Options) *metrics.SweepTable {
 		col := metrics.SweepCol{Name: d.String()}
 		subCfg, clCfg := scaledConfigs(opt, d)
 		for i, n := range xs {
-			jobs, _ := SubmitCell(opt.seed()+int64(i), n, window, subCfg, clCfg)
+			jobs, _ := SubmitCellChaos(opt.seed()+int64(i), n, window, subCfg, clCfg, opt.Chaos, opt.Check)
 			col.Vals = append(col.Vals, float64(jobs))
 		}
 		t.Cols = append(t.Cols, col)
@@ -165,6 +230,13 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	cl.StartHousekeeping(ctx)
+	if opt.Chaos != nil {
+		opt.Chaos.Arm(e, chaos.Targets{Window: window, Cluster: cl})
+	}
+	inv := condorInvariants(e, opt.Check, cl, subCfg, window)
+	if inv != nil {
+		inv.Start(ctx)
+	}
 
 	tl := &SubmitTimeline{
 		FDs:  metrics.NewSeries("avail-fds"),
@@ -189,6 +261,10 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 	}
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
+	}
+	if inv != nil {
+		inv.SeriesMonotone(tl.Jobs)
+		inv.Finish()
 	}
 	tl.Crashes = cl.Schedd.Crashes
 	return tl
@@ -234,21 +310,7 @@ func RunBufferSweep(opt Options) *BufferSweep {
 		cons := metrics.SweepCol{Name: d.String()}
 		coll := metrics.SweepCol{Name: d.String()}
 		for i, n := range xs {
-			e := sim.New(opt.seed() + int64(i))
-			b := fsbuffer.New(e, fsbuffer.Config{})
-			ctx, cancel := e.WithTimeout(e.Context(), window)
-			e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
-			for j := 0; j < n; j++ {
-				j := j
-				e.Spawn("producer", func(p *sim.Proc) {
-					var pr fsbuffer.Producer
-					pr.Loop(p, ctx, b, j, fsbuffer.DefaultProducerConfig(d))
-				})
-			}
-			if err := e.Run(); err != nil {
-				panic("expt: " + err.Error())
-			}
-			cancel()
+			b := BufferCell(opt.seed()+int64(i), n, window, d, opt.Chaos, opt.Check)
 			cons.Vals = append(cons.Vals, float64(b.Consumed))
 			coll.Vals = append(coll.Vals, float64(b.Collisions))
 		}
@@ -256,6 +318,44 @@ func RunBufferSweep(opt Options) *BufferSweep {
 		bs.Collisions.Cols = append(bs.Collisions.Cols, coll)
 	}
 	return bs
+}
+
+// BufferCell runs n producers of discipline d against a fresh buffer
+// for the window, optionally under a fault plan and the invariant
+// suite, and returns the buffer for inspection. It is the building
+// block of Figures 4 and 5 and of the chaos sweep tests.
+func BufferCell(seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder) *fsbuffer.Buffer {
+	e := sim.New(seed)
+	b := fsbuffer.New(e, fsbuffer.Config{})
+	ctx, cancel := e.WithTimeout(e.Context(), window)
+	defer cancel()
+	if plan != nil {
+		plan.Arm(e, chaos.Targets{Window: window, Buffer: b})
+	}
+	var inv *chaos.Invariants
+	if rec != nil {
+		inv = chaos.NewInvariants(e, rec, 0)
+		inv.Monotone("consumed", func() float64 { return float64(b.Consumed) })
+		inv.Monotone("completed", func() float64 { return float64(b.Completed) })
+		inv.Monotone("collisions", func() float64 { return float64(b.Collisions) })
+		inv.Horizon(window)
+		inv.Start(ctx)
+	}
+	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
+	for j := 0; j < n; j++ {
+		j := j
+		e.Spawn("producer", func(p *sim.Proc) {
+			var pr fsbuffer.Producer
+			pr.Loop(p, ctx, b, j, fsbuffer.DefaultProducerConfig(d))
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic("expt: " + err.Error())
+	}
+	if inv != nil {
+		inv.Finish()
+	}
+	return b
 }
 
 // Fig4 reproduces "Figure 4: Buffer Throughput".
@@ -295,13 +395,20 @@ func runReaderTimeline(opt Options, d core.Discipline) *ReaderTimeline {
 	window := opt.scaleD(ReaderWindow)
 	rcfg := replica.DefaultReaderConfig(d)
 	rcfg.OuterLimit = window
-	return ReaderCell(opt.seed(), window, rcfg)
+	return ReaderCellChaos(opt.seed(), window, rcfg, opt.Chaos, opt.Check)
 }
 
 // ReaderCell runs the black-hole scenario with an arbitrary reader
 // configuration — the building block of Figures 6 and 7 and of the
 // probe-timeout ablation.
 func ReaderCell(seed int64, window time.Duration, rcfg replica.ReaderConfig) *ReaderTimeline {
+	return ReaderCellChaos(seed, window, rcfg, nil, nil)
+}
+
+// ReaderCellChaos is ReaderCell with a fault plan armed against the
+// servers and the invariant suite recording into rec; either may be
+// nil.
+func ReaderCellChaos(seed int64, window time.Duration, rcfg replica.ReaderConfig, plan *chaos.Plan, rec *chaos.Recorder) *ReaderTimeline {
 	e := sim.New(seed)
 	cfg := replica.Config{}
 	servers := []*replica.Server{
@@ -311,7 +418,25 @@ func ReaderCell(seed int64, window time.Duration, rcfg replica.ReaderConfig) *Re
 	}
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
+	if plan != nil {
+		plan.Arm(e, chaos.Targets{Window: window, Servers: servers})
+	}
 	readers := make([]*replica.Reader, ReaderClients)
+	var inv *chaos.Invariants
+	if rec != nil {
+		inv = chaos.NewInvariants(e, rec, 0)
+		inv.Monotone("transfers", func() float64 {
+			var n int64
+			for _, r := range readers {
+				if r != nil {
+					n += r.Done
+				}
+			}
+			return float64(n)
+		})
+		inv.Horizon(window)
+		inv.Start(ctx)
+	}
 	for i := range readers {
 		readers[i] = &replica.Reader{}
 		r := readers[i]
@@ -319,6 +444,9 @@ func ReaderCell(seed int64, window time.Duration, rcfg replica.ReaderConfig) *Re
 	}
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
+	}
+	if inv != nil {
+		inv.Finish()
 	}
 
 	penaltyName := "collisions"

@@ -32,6 +32,11 @@ const (
 // ErrNoSpace is the ENOSPC collision discovered mid-write.
 var ErrNoSpace = errors.New("no space left on device")
 
+// InjectWrite is the injection site covering a producer's write attempt
+// (see core.Injector): an injected error is an I/O failure that loses
+// the partial file, an injected delay is file-server latency.
+const InjectWrite = "fsbuffer/write"
+
 // Config parameterizes the buffer scenario.
 type Config struct {
 	// Capacity is the shared buffer size (120 MB in the paper).
@@ -109,6 +114,7 @@ type file struct {
 type Buffer struct {
 	eng   *sim.Engine
 	cfg   Config
+	inj   core.Injector
 	files map[string]*file
 	used  int64
 	// server is the file server's single service queue; every I/O
@@ -147,6 +153,21 @@ func (b *Buffer) serverOp(p *sim.Proc, ctx context.Context, d time.Duration) err
 
 // Config returns the effective configuration.
 func (b *Buffer) Config() Config { return b.cfg }
+
+// SetInjector installs a fault injector consulted at the buffer's
+// failure sites. A nil injector (the default) disables injection.
+func (b *Buffer) SetInjector(inj core.Injector) { b.inj = inj }
+
+// SetCapacity retunes the buffer size at runtime (a disk partially
+// reclaimed by another tenant, or a fault plan squeezing the resource).
+// Shrinking below Used is allowed: Free goes negative and every write
+// collides until the consumer drains, like a real filled filesystem.
+func (b *Buffer) SetCapacity(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	b.cfg.Capacity = n
+}
 
 // Used reports bytes currently in the buffer, complete and partial.
 func (b *Buffer) Used() int64 { return b.used }
@@ -202,6 +223,25 @@ func (b *Buffer) Stats() Stats {
 func (b *Buffer) Write(p *sim.Proc, ctx context.Context, name string, size int64) error {
 	if _, exists := b.files[name]; exists {
 		return fmt.Errorf("fsbuffer: file %s already exists", name)
+	}
+	// Chaos seam: a fault plan may slow the write or fail it outright,
+	// upstream of the organic ENOSPC path below.
+	if fa := core.InjectAt(b.inj, InjectWrite); !fa.Zero() {
+		if fa.Delay > 0 {
+			if err := p.Sleep(ctx, fa.Delay); err != nil {
+				return err
+			}
+		}
+		if fa.Err != nil {
+			// The doomed attempt pays the same costs as an ENOSPC loss.
+			if err := b.serverOp(p, ctx, b.cfg.MetaTime); err != nil {
+				return err
+			}
+			if err := p.Sleep(ctx, b.cfg.FailTime); err != nil {
+				return err
+			}
+			return core.Collision("disk", fa.Err)
+		}
 	}
 	f := &file{name: name}
 	b.files[name] = f

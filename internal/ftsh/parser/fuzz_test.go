@@ -26,6 +26,15 @@ func FuzzParse(f *testing.F) {
 		"if .exists. file\n ok\nend\n",
 		"echo $* $# ${9}\n",
 		"cmd ->> v\ncmd -< v\n# comment\n",
+		// Nested try/catch with all three limit forms (times, for, every)
+		// stacked inside one another, as §3 composes them.
+		"try 3 times\n try for 2 hours\n  try for 1 day or 5 times every 30 seconds\n   fetch\n  catch\n   inner\n  end\n catch\n  mid\n end\ncatch\n outer\nend\n",
+		"try for 90 seconds\n try 2 times every 5 minutes\n  x\n end\nend\n",
+		"try every 15 seconds\n poll\nend\n",
+		// Deep forany/forall nesting over host and file lists.
+		"forany h in a b c\n forall f in x y z\n  forany r in 1 2\n   copy ${f} ${h} ${r}\n  end\n end\nend\n",
+		"forall a in 1 2\n forall b in 3 4\n  forall c in 5 6\n   step ${a}${b}${c}\n  end\n end\nend\n",
+		"forany s in ${servers}\n try for 60 seconds\n  wget ${s}\n catch\n  note ${s}\n end\nend\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

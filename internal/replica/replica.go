@@ -57,12 +57,18 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// InjectFetch is the injection site covering any fetch from a server
+// (see core.Injector): an injected error is a dropped connection or
+// corrupted transfer, an injected delay is a slow link.
+const InjectFetch = "replica/fetch"
+
 // Server is one replica. A server is single-threaded: one client
 // transfers at a time and the rest queue on the connection.
 type Server struct {
 	Name      string
 	BlackHole bool
 	cfg       Config
+	inj       core.Injector
 	lane      *sim.Resource
 
 	// Transfers counts completed payload downloads; Probes counts flag
@@ -92,6 +98,10 @@ func (s *Server) Busy() bool { return s.lane.InUse() > 0 }
 // absorbed stay absorbed until their own timeouts free them.
 func (s *Server) SetBlackHole(sick bool) { s.BlackHole = sick }
 
+// SetInjector installs a fault injector consulted on every fetch. A nil
+// injector (the default) disables injection.
+func (s *Server) SetInjector(inj core.Injector) { s.inj = inj }
+
 // QueueLen reports clients waiting for the server.
 func (s *Server) QueueLen() int { return s.lane.QueueLen() }
 
@@ -111,6 +121,17 @@ func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
 		return p.Hang(ctx) // never returns data; only cancellation frees us
 	}
 	d := time.Duration(float64(size) / float64(s.cfg.Bandwidth) * float64(time.Second))
+	// Chaos seam: a fault plan may slow the transfer or drop it partway.
+	if f := core.InjectAt(s.inj, InjectFetch); !f.Zero() {
+		d += f.Delay
+		if f.Err != nil {
+			// The connection dies mid-transfer: half the bytes moved.
+			if err := p.Sleep(ctx, d/2); err != nil {
+				return err
+			}
+			return core.Collision(s.Name, f.Err)
+		}
+	}
 	return p.Sleep(ctx, d)
 }
 

@@ -1,10 +1,11 @@
 # Development targets. `make ci` is the full gate: vet, build, race
-# tests, and a short fuzz smoke on every fuzz target.
+# tests, a single-iteration benchmark smoke, and a short fuzz smoke on
+# every fuzz target.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race short fuzz-smoke golden ci
+.PHONY: all build vet test race short bench-smoke fuzz-smoke golden ci
 
 all: build
 
@@ -23,6 +24,12 @@ short:
 race:
 	$(GO) test -race ./...
 
+# Run every benchmark exactly once: keeps the harnesses compiling and
+# passing (including the tracer-overhead benchmarks) without paying for
+# real measurement in CI.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
 # A brief run of each fuzz target: catches regressions in the corpus
 # and keeps the harnesses themselves compiling and passing.
 fuzz-smoke:
@@ -33,4 +40,4 @@ fuzz-smoke:
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race fuzz-smoke
+ci: vet build race bench-smoke fuzz-smoke

@@ -22,9 +22,11 @@ import (
 	"repro/internal/ftsh/interp"
 	"repro/internal/ftsh/lexer"
 	"repro/internal/ftsh/parser"
+	"repro/internal/metrics"
 	"repro/internal/proc"
 	"repro/internal/replica"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchScale shrinks populations and windows so each iteration is a few
@@ -524,4 +526,80 @@ func BenchmarkBaselineReservation(b *testing.B) {
 		b.ReportMetric(consumed/float64(b.N), "consumed/op")
 		b.ReportMetric(collisions/float64(b.N), "collisions/op")
 	})
+}
+
+// ---------------------------------------------------------------------
+// Tracer overhead (PR: discipline-level event tracing).
+// ---------------------------------------------------------------------
+
+// BenchmarkTryTraceOverhead measures core.Try's attempt loop with
+// tracing disabled (nil client) against tracing enabled. "disabled"
+// must match "baseline" (no trace fields at all) in both ns/op and
+// allocs/op: a disabled tracer is one nil check per event site.
+func BenchmarkTryTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, cfg core.TryConfig) {
+		rt := core.NewReal(1)
+		cfg.Backoff = &core.Backoff{Base: time.Millisecond, Cap: time.Millisecond, Factor: 1, RandMin: 1, RandMax: 1}
+		op := func(ctx context.Context) error { return nil }
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := core.Try(context.Background(), rt, core.Times(1), cfg, op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		run(b, core.TryConfig{NoBackoff: true})
+	})
+	b.Run("disabled", func(b *testing.B) {
+		run(b, core.TryConfig{NoBackoff: true, Trace: nil, Span: "bench", Site: "r"})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tr := trace.New()
+		var now time.Duration
+		c := tr.NewClient("bench", "t0", func() time.Duration { now += time.Microsecond; return now })
+		run(b, core.TryConfig{NoBackoff: true, Trace: c, Span: "bench", Site: "r"})
+	})
+}
+
+// BenchmarkTraceEmit measures one enabled event emission (lock, stamp,
+// append).
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := trace.New()
+	var now time.Duration
+	c := tr.NewClient("bench", "t0", func() time.Duration { now += time.Microsecond; return now })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Attempt()
+	}
+}
+
+// BenchmarkSeriesAt measures the binary-search lookup timeline tables
+// perform once per rendered row and series.
+func BenchmarkSeriesAt(b *testing.B) {
+	s := metrics.NewSeries("bench")
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.At(time.Duration(i%n) * time.Millisecond)
+	}
+}
+
+// BenchmarkFig7Traced regenerates Figure 7 with a live tracer attached,
+// against BenchmarkFig7 as the untraced baseline, and reports the
+// events recorded per run.
+func BenchmarkFig7Traced(b *testing.B) {
+	var events float64
+	for i := 0; i < b.N; i++ {
+		opt := expt.Options{Seed: int64(i + 1), Scale: benchScale, Trace: trace.New()}
+		_ = expt.Fig7(opt)
+		events += float64(opt.Trace.Len())
+	}
+	b.ReportMetric(events/float64(b.N), "events/op")
 }

@@ -15,6 +15,10 @@
 // after a grace period, so runaway children cannot outlive their
 // budget. Script positional arguments are available as ${1}..${9}, $*
 // and $#.
+//
+// -trace records every try's attempt/backoff timeline, with spans for
+// try/forany/forall constructs named by script position, as
+// line-delimited JSON (the same format gridbench -trace emits).
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"repro/internal/ftsh/interp"
 	"repro/internal/ftsh/parser"
 	"repro/internal/proc"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -53,6 +58,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	dump := fs.Bool("dump", false, "parse the script and print its canonical form instead of running it")
 	stats := fs.Bool("stats", false, "print a post-mortem execution report to stderr on exit")
 	seed := fs.Int64("seed", 0, "seed for backoff jitter and forany shuffling (0 = nondeterministic)")
+	tracePath := fs.String("trace", "", "record a JSONL event trace (attempts, backoffs, spans) to this file")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -88,6 +94,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	start := time.Now()
 	cfg := interp.Config{
 		Runner:        &proc.RealRunner{Grace: *grace},
 		Runtime:       core.NewReal(*seed),
@@ -96,6 +103,12 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		FS:            interp.OSFS{},
 		ShuffleForany: *shuffle,
 		MaxForall:     *maxForall,
+	}
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New()
+		tracer.SetMeta(trace.Meta{Seed: *seed, Scenario: name})
+		cfg.Trace = tracer.NewClient("ftsh", "main", func() time.Duration { return time.Since(start) })
 	}
 	if *logPath != "" {
 		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -110,7 +123,6 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	in := interp.New(cfg)
 	in.SetArgs(args)
 
-	start := time.Now()
 	err := in.RunSource(ctx, src)
 	if *stats {
 		fmt.Fprintf(stderr, "--- ftsh post-mortem (%v) ---\n", time.Since(start).Round(time.Millisecond))
@@ -118,9 +130,27 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ftsh: stats: %v\n", werr)
 		}
 	}
+	if tracer != nil {
+		if werr := writeTraceFile(*tracePath, tracer); werr != nil {
+			fmt.Fprintf(stderr, "ftsh: trace: %v\n", werr)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "ftsh: %s: %v (after %v)\n", name, err, time.Since(start).Round(time.Millisecond))
 		return 1
 	}
 	return 0
+}
+
+// writeTraceFile exports the recorded trace as line-delimited JSON.
+func writeTraceFile(path string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -6,6 +6,7 @@
 //
 //	gridbench [-fig N] [-seed S] [-scale F] [-format table|tsv]
 //	          [-chaos PLAN] [-chaos-seed S] [-check]
+//	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
 //
 // Without -fig, every figure is produced in order. Output is plain
 // aligned text (or TSV for plotting): sweep tables for Figures 1, 4,
@@ -16,6 +17,17 @@
 // squeeze), deterministically scheduled from -chaos-seed. -check runs
 // the invariant-checker suite alongside every figure and fails the run
 // if any safety or liveness property is violated.
+//
+// -trace records every client's event timeline (attempts, collisions,
+// carrier senses, backoffs, resource holds, injected faults) to FILE:
+// line-delimited JSON by default, or — with -trace-format chrome — the
+// Chrome trace-event format loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing, with one process per discipline and one thread per
+// client. -trace-summary appends a per-discipline collision/backoff
+// accounting table to the normal output. Single-discipline figures
+// (2, 3, 6, 7) are additionally re-run under the remaining disciplines
+// on the same seed, so the trace compares all three head-to-head;
+// tracing never changes the figures themselves.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/expt"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -46,12 +59,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	chaosName := fs.String("chaos", "", "fault-injection plan to run the figures under ("+strings.Join(chaos.Names(), ", ")+")")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the fault plan's schedule (default: -seed)")
 	check := fs.Bool("check", false, "run the invariant-checker suite alongside every figure")
+	traceOut := fs.String("trace", "", "record an event trace of every client to this file")
+	traceFormat := fs.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
+	traceSummary := fs.Bool("trace-summary", false, "append a per-discipline collision/backoff accounting table")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 
 	if *format != "table" && *format != "tsv" {
 		fmt.Fprintf(stderr, "gridbench: unknown format %q (want table or tsv)\n", *format)
+		return 2
+	}
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		fmt.Fprintf(stderr, "gridbench: unknown trace format %q (want jsonl or chrome)\n", *traceFormat)
 		return 2
 	}
 	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
@@ -80,6 +100,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		figs = []int{*fig}
+	}
+
+	if *traceOut != "" || *traceSummary {
+		opt.Trace = trace.New()
+		scenario := "all"
+		if *fig != 0 {
+			scenario = fmt.Sprintf("fig%d", *fig)
+		}
+		m := trace.Meta{Seed: *seed, Scenario: scenario}
+		if opt.Chaos != nil {
+			m.Plan, m.PlanSeed = opt.Chaos.Name, opt.Chaos.Seed
+		}
+		opt.Trace.SetMeta(m)
 	}
 
 	var bufferSweep *expt.BufferSweep // figures 4 and 5 share one run
@@ -122,6 +155,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			r.dump(tl.Table())
 			fmt.Fprintf(r.w, "# totals: transfers=%d deferrals=%d\n", tl.TotalTransfers, tl.TotalDeferrals)
 		}
+		// Single-discipline figures: re-run the other disciplines into
+		// the same trace so the summary compares all three on one seed.
+		expt.TraceCompanions(opt, f)
 		fmt.Fprintf(r.w, "# generated in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if opt.Check != nil {
@@ -132,7 +168,40 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *traceSummary {
+		fmt.Fprintf(r.w, "==== Trace summary ====\n")
+		if r.chaos != "" {
+			io.WriteString(r.w, r.chaos)
+		}
+		if err := trace.WriteSummary(r.w, trace.Analyze(opt.Trace)); err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 1
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *traceFormat, opt.Trace); err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 1
+		}
+	}
 	return r.exit
+}
+
+// writeTrace exports the recorded trace to path in the chosen format.
+func writeTrace(path, format string, t *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "chrome" {
+		err = t.WriteChrome(f)
+	} else {
+		err = t.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // renderer writes figure banners and tables in the selected format.

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenFile compares the bytes a CLI run left in a side file against
+// testdata/<name>.golden, rewriting under -update like golden does.
+func goldenFile(t *testing.T, name, path string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpath := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(gpath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(gpath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/gridbench -run TestGolden -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("trace drifted from %s.\nIf the change is intentional, rerun with -update.", gpath)
+	}
+}
+
+// TestGoldenFig7TraceSummary pins the -trace-summary accounting table:
+// any change to event emission order or analyzer bucketing shows up
+// here as a diff.
+func TestGoldenFig7TraceSummary(t *testing.T) {
+	golden(t, "fig7_trace_summary", "-fig", "7", "-scale", "0.2", "-trace-summary")
+}
+
+// TestGoldenFig7TraceChrome pins the Chrome trace-event export and
+// checks it is one valid JSON document (what Perfetto requires).
+func TestGoldenFig7TraceChrome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, _, errOut := cli(t, "-fig", "7", "-scale", "0.2", "-trace", path, "-trace-format", "chrome")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		OtherData   map[string]any   `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	if doc.OtherData["scenario"] != "fig7" {
+		t.Errorf("otherData = %v", doc.OtherData)
+	}
+	goldenFile(t, "fig7_trace_chrome", path)
+}
+
+// TestTraceJSONLDeterministic: same seed, byte-identical trace.
+func TestTraceJSONLDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")}
+	var traces [2]string
+	for i, p := range paths {
+		code, _, errOut := cli(t, "-fig", "7", "-scale", "0.2", "-seed", "3", "-trace", p)
+		if code != 0 {
+			t.Fatalf("code=%d stderr=%q", code, errOut)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = string(data)
+	}
+	if traces[0] != traces[1] {
+		t.Fatal("same seed produced different JSONL traces")
+	}
+	if !strings.HasPrefix(traces[0], `{"meta":{"seed":3,`) {
+		t.Errorf("trace meta line missing or wrong: %.80s", traces[0])
+	}
+	// A different seed must change the trace (the runs really differ).
+	other := filepath.Join(dir, "c.jsonl")
+	if code, _, errOut := cli(t, "-fig", "7", "-scale", "0.2", "-seed", "4", "-trace", other); code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	data, err := os.ReadFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) == traces[0] {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+// TestTraceSummaryOrdering asserts the acceptance relationship on the
+// Figure 7 scenario: the Ethernet reader's collision rate and penalty
+// backoff share never exceed Aloha's or Fixed's on the same seed, and
+// its collision rate is strictly lower.
+func TestTraceSummaryOrdering(t *testing.T) {
+	code, out, errOut := cli(t, "-fig", "7", "-scale", "0.2", "-trace-summary")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	rows := map[string][]string{}
+	inTable := false
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 0 && fields[0] == "discipline" {
+			inTable = true
+			continue
+		}
+		if inTable && len(fields) >= 9 {
+			rows[fields[0]] = fields
+		}
+	}
+	for _, d := range []string{"Ethernet", "Aloha", "Fixed"} {
+		if rows[d] == nil {
+			t.Fatalf("summary row for %s missing:\n%s", d, out)
+		}
+	}
+	pctCol := func(d string, i int) float64 {
+		f, err := strconv.ParseFloat(strings.TrimSuffix(rows[d][i], "%"), 64)
+		if err != nil {
+			t.Fatalf("%s col %d = %q: %v", d, i, rows[d][i], err)
+		}
+		return f
+	}
+	const collRate, backoff = 4, 7 // column indexes in the summary table
+	for _, d := range []string{"Aloha", "Fixed"} {
+		if e, o := pctCol("Ethernet", collRate), pctCol(d, collRate); e >= o {
+			t.Errorf("Ethernet collision rate %v%% not strictly below %s's %v%%", e, d, o)
+		}
+		if e, o := pctCol("Ethernet", backoff), pctCol(d, backoff); e > o {
+			t.Errorf("Ethernet backoff share %v%% above %s's %v%%", e, d, o)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fsbuffer"
 	"repro/internal/replica"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Plan is a named, seeded composition of fault specs. It is inert data
@@ -67,6 +68,10 @@ type Targets struct {
 	Servers []*replica.Server
 	// Channel is the broadcast medium (channel/* sites).
 	Channel *channel.Channel
+	// Trace, when non-nil, records the plan's scheduled interventions
+	// (squeezes, flaps, kills) on a dedicated "chaos" process whose
+	// thread name carries the plan name and seed.
+	Trace *trace.Tracer
 }
 
 // Window locates a fault in virtual time. Absolute fields (Start,
@@ -164,7 +169,7 @@ func (s FDSqueeze) arm(a *Armed, t Targets) {
 	a.eng.Schedule(from, func() {
 		orig = fds.Capacity()
 		fds.SetCapacity(int(float64(orig) * s.Factor))
-		a.Actions++
+		a.action("chaos/fd-squeeze")
 	})
 	a.eng.Schedule(to, func() {
 		if orig >= 0 {
@@ -192,7 +197,7 @@ func (s BufferSqueeze) arm(a *Armed, t Targets) {
 	a.eng.Schedule(from, func() {
 		orig = b.Config().Capacity
 		b.SetCapacity(int64(float64(orig) * s.Factor))
-		a.Actions++
+		a.action("chaos/buffer-squeeze")
 	})
 	a.eng.Schedule(to, func() {
 		if orig >= 0 {
@@ -239,7 +244,7 @@ func (s ServerFlap) arm(a *Armed, t Targets) {
 		}
 		sick = !sick
 		srv.SetBlackHole(sick)
-		a.Actions++
+		a.action("chaos/server-flap")
 		a.eng.Schedule(period, flip)
 	}
 	a.eng.Schedule(from, flip)
@@ -283,7 +288,7 @@ func (s ScheddCrash) arm(a *Armed, t Targets) {
 		when := at + time.Duration(i)*every
 		a.eng.Schedule(when, func() {
 			schedd.Kill()
-			a.Actions++
+			a.action("chaos/schedd-crash")
 		})
 		if every <= 0 {
 			break
@@ -312,6 +317,7 @@ type Armed struct {
 	eng     *sim.Engine
 	rng     *rand.Rand
 	windows map[string][]*siteWindow
+	tr      *trace.Client
 
 	// Injected tallies, for reports: errors and delays handed out at
 	// sites, and scheduled actions (squeezes, flaps, kills) performed.
@@ -337,6 +343,9 @@ func (p *Plan) Arm(e *sim.Engine, t Targets) *Armed {
 		windows: make(map[string][]*siteWindow),
 		perSite: make(map[string]int64),
 	}
+	if t.Trace != nil {
+		a.tr = t.Trace.NewClient("chaos", fmt.Sprintf("%s seed=%d", p.Name, seed), e.Elapsed)
+	}
 	for _, s := range p.Specs {
 		s.arm(a, t)
 	}
@@ -353,6 +362,13 @@ func (p *Plan) Arm(e *sim.Engine, t Targets) *Armed {
 		t.Channel.SetInjector(a)
 	}
 	return a
+}
+
+// action records one scheduled intervention against the site label,
+// tracing it when the plan was armed with a tracer.
+func (a *Armed) action(site string) {
+	a.Actions++
+	a.tr.FaultInjected(site)
 }
 
 // addWindow registers a fault window for a site.

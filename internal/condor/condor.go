@@ -298,9 +298,11 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	tr := p.Tracer()
 	// Chaos seam: a fault plan may slow or refuse the connection here,
 	// upstream of the organic failure modes below.
 	if f := core.InjectAt(s.inj, InjectConnect); !f.Zero() {
+		tr.FaultInjected(InjectConnect)
 		if f.Delay > 0 {
 			if err := p.Sleep(ctx, f.Delay); err != nil {
 				return err
@@ -329,7 +331,11 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 		}
 		return core.Collision("fds", ErrNoFDs)
 	}
-	defer s.fds.Release(first)
+	tr.Acquire("fds", int64(first))
+	defer func() {
+		s.fds.Release(first)
+		tr.Release("fds", int64(first))
+	}()
 	if err := p.Sleep(ctx, s.cfg.SetupTime); err != nil {
 		return err
 	}
@@ -340,7 +346,11 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 		}
 		return core.Collision("fds", ErrNoFDs)
 	}
-	defer s.fds.Release(rest)
+	tr.Acquire("fds", int64(rest))
+	defer func() {
+		s.fds.Release(rest)
+		tr.Release("fds", int64(rest))
+	}()
 
 	if s.down {
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
@@ -358,7 +368,11 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 		}
 		return core.Collision("schedd", ErrScheddCrashed)
 	}
-	defer s.fds.Release(s.cfg.ScheddFDs)
+	tr.Acquire("fds", int64(s.cfg.ScheddFDs))
+	defer func() {
+		s.fds.Release(s.cfg.ScheddFDs)
+		tr.Release("fds", int64(s.cfg.ScheddFDs))
+	}()
 
 	// Register for the crash broadcast.
 	connCtx, cancel := s.eng.WithCancel(ctx)
@@ -372,7 +386,11 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 	if err := s.slots.Acquire(p, connCtx); err != nil {
 		return s.submitErr(ctx, err)
 	}
-	defer s.slots.Release()
+	tr.Acquire("slot", 1)
+	defer func() {
+		s.slots.Release()
+		tr.Release("slot", 1)
+	}()
 	// Service slows as more clients are connected: the CPU, memory, and
 	// disk of the submit machine are themselves shared resources.
 	d := time.Duration(float64(s.cfg.ServiceTime) * (1 + s.cfg.CPULoad*float64(len(s.conns))))
@@ -380,6 +398,7 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 	// Chaos seam: a fault plan may stretch the transfer or reset the
 	// connection mid-service, like the organic crash path.
 	if f := core.InjectAt(s.inj, InjectService); !f.Zero() {
+		tr.FaultInjected(InjectService)
 		d += f.Delay
 		if f.Err != nil {
 			if err := p.Sleep(connCtx, d); err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SubmitterConfig shapes one submitter client, the §5 scenario-one
@@ -24,6 +25,8 @@ type SubmitterConfig struct {
 	ThinkTime time.Duration
 	// Observer receives discipline events.
 	Observer core.Observer
+	// Trace, when non-nil, records this submitter's attempt timeline.
+	Trace *trace.Client
 }
 
 // DefaultSubmitterConfig mirrors the paper's scripts.
@@ -47,12 +50,16 @@ type Submitter struct {
 // Loop runs the submitter until ctx is canceled: an endless sequence of
 // jobs, each wrapped in a try with the configured discipline.
 func (sub *Submitter) Loop(p *sim.Proc, ctx context.Context, cl *Cluster, cfg SubmitterConfig) {
+	p.SetTracer(cfg.Trace)
 	client := &core.Client{
 		Rt:         p,
 		Discipline: cfg.Discipline,
 		Limit:      core.For(cfg.TryLimit),
 		Sense:      core.ThresholdSense("file-nr", cl.FDs.Free, cfg.Threshold),
 		Observer:   cfg.Observer,
+		Trace:      cfg.Trace,
+		Site:       "fds",
+		Span:       "submit",
 	}
 	for ctx.Err() == nil {
 		err := client.Do(ctx, func(ctx context.Context) error {

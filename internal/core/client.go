@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Discipline selects one of the three client behaviours evaluated in §5
@@ -73,12 +75,19 @@ type Client struct {
 	Backoff *Backoff
 	// Observer receives discipline events.
 	Observer Observer
+	// Trace, when non-nil, records the client's attempt/backoff/sense
+	// timeline; nil disables tracing at zero cost.
+	Trace *trace.Client
+	// Site labels the contended resource in trace events.
+	Site string
+	// Span, when non-empty, wraps each Do in a named trace span.
+	Span string
 }
 
 // Do runs op under the client's discipline until it succeeds or the
 // limit is exhausted.
 func (c *Client) Do(ctx context.Context, op Op) error {
-	cfg := TryConfig{Observer: c.Observer, Backoff: c.Backoff}
+	cfg := TryConfig{Observer: c.Observer, Backoff: c.Backoff, Trace: c.Trace, Site: c.Site, Span: c.Span}
 	switch c.Discipline {
 	case Fixed:
 		cfg.NoBackoff = true

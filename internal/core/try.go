@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Op is a fallible operation. Implementations must honor ctx: when the
@@ -98,6 +100,19 @@ type TryConfig struct {
 	// paper's "fixed" client. It exists so the three disciplines share
 	// one code path; prefer Client for discipline selection.
 	NoBackoff bool
+	// Trace, when non-nil, receives trace events mirroring the Observer
+	// stream plus probe/backoff intervals. Nil (the default) costs one
+	// pointer comparison per event site.
+	Trace *trace.Client
+	// Span, when non-empty, wraps the whole try in a named trace span.
+	Span string
+	// SpanOnly suppresses per-attempt trace events (the caller emits its
+	// own, e.g. one per forany branch) while keeping the span and the
+	// backoff intervals.
+	SpanOnly bool
+	// Site labels the contended resource in trace events ("file-nr",
+	// "buffer", "server", ...).
+	Site string
 }
 
 // Try implements ftsh's try construct: run op until it succeeds or the
@@ -112,6 +127,15 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 	obs := cfg.Observer
 	if obs == nil {
 		obs = nopObserver{}
+	}
+	tr := cfg.Trace
+	etr := tr // event emitter; nil under SpanOnly (nil emits nothing)
+	if cfg.SpanOnly {
+		etr = nil
+	}
+	if cfg.Span != "" {
+		span := tr.SpanBegin(cfg.Span)
+		defer tr.SpanEnd(span)
 	}
 	if lim.Duration <= 0 && lim.Attempts <= 0 {
 		lim.Attempts = 1 // a zero limit permits exactly one attempt
@@ -149,23 +173,40 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 		attempts++
 
 		var err error
+		trigger := "failure"
 		if cfg.Sense != nil {
-			if serr := cfg.Sense(tryCtx); serr != nil {
+			etr.Probe(cfg.Site)
+			serr := cfg.Sense(tryCtx)
+			etr.CarrierSense(cfg.Site, serr != nil)
+			if serr != nil {
 				err = serr
+				trigger = "defer"
 				obs.Observe(EvDefer, rt.Now(), serr)
+				etr.Defer(cfg.Site)
 			}
 		}
 		if err == nil {
 			obs.Observe(EvAttempt, rt.Now(), nil)
+			etr.Attempt()
 			err = op(tryCtx)
 			switch {
 			case err == nil:
 				obs.Observe(EvSuccess, rt.Now(), nil)
+				etr.Success()
 				return nil
 			case IsCollision(err):
+				trigger = "collision"
 				obs.Observe(EvCollision, rt.Now(), err)
+				etr.Collision(cfg.Site)
 			default:
+				if IsDeferred(err) {
+					// The op itself deferred (e.g. a forany whose every
+					// branch sensed a busy carrier): the coming backoff is
+					// a polite wait, not a collision penalty.
+					trigger = "defer"
+				}
 				obs.Observe(EvFailure, rt.Now(), err)
+				etr.Failure()
 			}
 		}
 		last = err
@@ -179,7 +220,10 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 		if !cfg.NoBackoff {
 			d := bo.Next()
 			obs.Observe(EvBackoff, rt.Now(), nil)
-			if err := rt.Sleep(tryCtx, d); err != nil {
+			tr.BackoffStart(d, trigger)
+			serr := rt.Sleep(tryCtx, d)
+			tr.BackoffEnd()
+			if serr != nil {
 				break
 			}
 		}
@@ -191,6 +235,7 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 	}
 	ex := &ExhaustedError{Attempts: attempts, Elapsed: rt.Now().Sub(start), Last: last}
 	obs.Observe(EvExhausted, rt.Now(), ex)
+	tr.Exhausted()
 	return ex
 }
 

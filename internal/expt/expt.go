@@ -6,6 +6,7 @@
 package expt
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/replica"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Options tunes an experiment run.
@@ -33,6 +35,12 @@ type Options struct {
 	// Check, when non-nil, runs the invariant-checker suite alongside
 	// every cell, appending any violations (see chaos.Recorder.Err).
 	Check *chaos.Recorder
+	// Trace, when non-nil, records every client's event timeline into
+	// one tracer: one trace process per discipline, one thread per
+	// client. Tracing is purely observational — it draws no randomness
+	// and sleeps for no virtual time — so a traced run produces exactly
+	// the figures an untraced run does.
+	Trace *trace.Tracer
 }
 
 func (o Options) seed() int64 {
@@ -96,22 +104,33 @@ func SubmitCell(seed int64, n int, window time.Duration, subCfg condor.Submitter
 // cluster and the invariant suite recording into rec; either may be
 // nil. It is the building block of the chaos sweep tests.
 func SubmitCellChaos(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config, plan *chaos.Plan, rec *chaos.Recorder) (jobs, crashes int64) {
+	return submitCellTraced(seed, n, window, subCfg, clCfg, plan, rec, nil)
+}
+
+// submitCellTraced is the traced core of SubmitCellChaos: when tr is
+// non-nil every submitter gets its own trace thread under the
+// discipline's process.
+func submitCellTraced(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) (jobs, crashes int64) {
 	e := sim.New(seed)
 	cl := condor.NewCluster(e, clCfg)
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	cl.StartHousekeeping(ctx)
 	if plan != nil {
-		plan.Arm(e, chaos.Targets{Window: window, Cluster: cl})
+		plan.Arm(e, chaos.Targets{Window: window, Cluster: cl, Trace: tr})
 	}
 	inv := condorInvariants(e, rec, cl, subCfg, window)
 	if inv != nil {
 		inv.Start(ctx)
 	}
 	for i := 0; i < n; i++ {
+		cfg := subCfg
+		if tr != nil {
+			cfg.Trace = tr.NewClient(subCfg.Discipline.String(), fmt.Sprintf("submitter-%d", i), e.Elapsed)
+		}
 		e.Spawn("submitter", func(p *sim.Proc) {
 			var sub condor.Submitter
-			sub.Loop(p, ctx, cl, subCfg)
+			sub.Loop(p, ctx, cl, cfg)
 		})
 	}
 	if err := e.Run(); err != nil {
@@ -196,7 +215,7 @@ func Fig1(opt Options) *metrics.SweepTable {
 		col := metrics.SweepCol{Name: d.String()}
 		subCfg, clCfg := scaledConfigs(opt, d)
 		for i, n := range xs {
-			jobs, _ := SubmitCellChaos(opt.seed()+int64(i), n, window, subCfg, clCfg, opt.Chaos, opt.Check)
+			jobs, _ := submitCellTraced(opt.seed()+int64(i), n, window, subCfg, clCfg, opt.Chaos, opt.Check, opt.Trace)
 			col.Vals = append(col.Vals, float64(jobs))
 		}
 		t.Cols = append(t.Cols, col)
@@ -231,7 +250,7 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 	defer cancel()
 	cl.StartHousekeeping(ctx)
 	if opt.Chaos != nil {
-		opt.Chaos.Arm(e, chaos.Targets{Window: window, Cluster: cl})
+		opt.Chaos.Arm(e, chaos.Targets{Window: window, Cluster: cl, Trace: opt.Trace})
 	}
 	inv := condorInvariants(e, opt.Check, cl, subCfg, window)
 	if inv != nil {
@@ -254,9 +273,13 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 	e.Schedule(0, tick)
 
 	for i := 0; i < n; i++ {
+		cfg := subCfg
+		if opt.Trace != nil {
+			cfg.Trace = opt.Trace.NewClient(d.String(), fmt.Sprintf("submitter-%d", i), e.Elapsed)
+		}
 		e.Spawn("submitter", func(p *sim.Proc) {
 			var sub condor.Submitter
-			sub.Loop(p, ctx, cl, subCfg)
+			sub.Loop(p, ctx, cl, cfg)
 		})
 	}
 	if err := e.Run(); err != nil {
@@ -310,7 +333,7 @@ func RunBufferSweep(opt Options) *BufferSweep {
 		cons := metrics.SweepCol{Name: d.String()}
 		coll := metrics.SweepCol{Name: d.String()}
 		for i, n := range xs {
-			b := BufferCell(opt.seed()+int64(i), n, window, d, opt.Chaos, opt.Check)
+			b := bufferCellTraced(opt.seed()+int64(i), n, window, d, opt.Chaos, opt.Check, opt.Trace)
 			cons.Vals = append(cons.Vals, float64(b.Consumed))
 			coll.Vals = append(coll.Vals, float64(b.Collisions))
 		}
@@ -325,12 +348,19 @@ func RunBufferSweep(opt Options) *BufferSweep {
 // suite, and returns the buffer for inspection. It is the building
 // block of Figures 4 and 5 and of the chaos sweep tests.
 func BufferCell(seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder) *fsbuffer.Buffer {
+	return bufferCellTraced(seed, n, window, d, plan, rec, nil)
+}
+
+// bufferCellTraced is the traced core of BufferCell: when tr is non-nil
+// every producer gets its own trace thread under the discipline's
+// process.
+func bufferCellTraced(seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *fsbuffer.Buffer {
 	e := sim.New(seed)
 	b := fsbuffer.New(e, fsbuffer.Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	if plan != nil {
-		plan.Arm(e, chaos.Targets{Window: window, Buffer: b})
+		plan.Arm(e, chaos.Targets{Window: window, Buffer: b, Trace: tr})
 	}
 	var inv *chaos.Invariants
 	if rec != nil {
@@ -344,9 +374,13 @@ func BufferCell(seed int64, n int, window time.Duration, d core.Discipline, plan
 	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
 	for j := 0; j < n; j++ {
 		j := j
+		cfg := fsbuffer.DefaultProducerConfig(d)
+		if tr != nil {
+			cfg.Trace = tr.NewClient(d.String(), fmt.Sprintf("producer-%d", j), e.Elapsed)
+		}
 		e.Spawn("producer", func(p *sim.Proc) {
 			var pr fsbuffer.Producer
-			pr.Loop(p, ctx, b, j, fsbuffer.DefaultProducerConfig(d))
+			pr.Loop(p, ctx, b, j, cfg)
 		})
 	}
 	if err := e.Run(); err != nil {
@@ -395,7 +429,7 @@ func runReaderTimeline(opt Options, d core.Discipline) *ReaderTimeline {
 	window := opt.scaleD(ReaderWindow)
 	rcfg := replica.DefaultReaderConfig(d)
 	rcfg.OuterLimit = window
-	return ReaderCellChaos(opt.seed(), window, rcfg, opt.Chaos, opt.Check)
+	return readerCellTraced(opt.seed(), window, rcfg, opt.Chaos, opt.Check, opt.Trace)
 }
 
 // ReaderCell runs the black-hole scenario with an arbitrary reader
@@ -409,6 +443,13 @@ func ReaderCell(seed int64, window time.Duration, rcfg replica.ReaderConfig) *Re
 // servers and the invariant suite recording into rec; either may be
 // nil.
 func ReaderCellChaos(seed int64, window time.Duration, rcfg replica.ReaderConfig, plan *chaos.Plan, rec *chaos.Recorder) *ReaderTimeline {
+	return readerCellTraced(seed, window, rcfg, plan, rec, nil)
+}
+
+// readerCellTraced is the traced core of ReaderCellChaos: when tr is
+// non-nil every reader gets its own trace thread under the discipline's
+// process.
+func readerCellTraced(seed int64, window time.Duration, rcfg replica.ReaderConfig, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *ReaderTimeline {
 	e := sim.New(seed)
 	cfg := replica.Config{}
 	servers := []*replica.Server{
@@ -419,7 +460,7 @@ func ReaderCellChaos(seed int64, window time.Duration, rcfg replica.ReaderConfig
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	if plan != nil {
-		plan.Arm(e, chaos.Targets{Window: window, Servers: servers})
+		plan.Arm(e, chaos.Targets{Window: window, Servers: servers, Trace: tr})
 	}
 	readers := make([]*replica.Reader, ReaderClients)
 	var inv *chaos.Invariants
@@ -440,7 +481,11 @@ func ReaderCellChaos(seed int64, window time.Duration, rcfg replica.ReaderConfig
 	for i := range readers {
 		readers[i] = &replica.Reader{}
 		r := readers[i]
-		e.Spawn("reader", func(p *sim.Proc) { r.Loop(p, ctx, servers, rcfg) })
+		rc := rcfg
+		if tr != nil {
+			rc.Trace = tr.NewClient(rcfg.Discipline.String(), fmt.Sprintf("reader-%d", i), e.Elapsed)
+		}
+		e.Spawn("reader", func(p *sim.Proc) { r.Loop(p, ctx, servers, rc) })
 	}
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
@@ -492,3 +537,30 @@ func Fig6(opt Options) *ReaderTimeline { return runReaderTimeline(opt, core.Aloh
 
 // Fig7 reproduces "Figure 7: Ethernet File Reader".
 func Fig7(opt Options) *ReaderTimeline { return runReaderTimeline(opt, core.Ethernet) }
+
+// TraceCompanions re-runs a single-discipline figure's workload under
+// the disciplines the figure itself does not plot, on the same seed,
+// so one trace (and its summary) compares all three disciplines
+// head-to-head. Figures that already sweep every discipline (1, 4, 5)
+// need no companions. Companion runs skip the invariant suite: its
+// expectations are calibrated to the figure's own discipline.
+func TraceCompanions(opt Options, fig int) {
+	if opt.Trace == nil {
+		return
+	}
+	opt.Check = nil
+	switch fig {
+	case 2: // Aloha timeline: add Ethernet and Fixed
+		_ = runSubmitTimeline(opt, core.Ethernet)
+		_ = runSubmitTimeline(opt, core.Fixed)
+	case 3: // Ethernet timeline: add Aloha and Fixed
+		_ = runSubmitTimeline(opt, core.Aloha)
+		_ = runSubmitTimeline(opt, core.Fixed)
+	case 6: // Aloha reader: add Ethernet and Fixed
+		_ = runReaderTimeline(opt, core.Ethernet)
+		_ = runReaderTimeline(opt, core.Fixed)
+	case 7: // Ethernet reader: add Aloha and Fixed
+		_ = runReaderTimeline(opt, core.Aloha)
+		_ = runReaderTimeline(opt, core.Fixed)
+	}
+}

@@ -147,7 +147,12 @@ func (b *Buffer) serverOp(p *sim.Proc, ctx context.Context, d time.Duration) err
 	if err := b.server.Acquire(p, ctx); err != nil {
 		return err
 	}
-	defer b.server.Release()
+	tr := p.Tracer()
+	tr.Acquire("fileserver", 1)
+	defer func() {
+		b.server.Release()
+		tr.Release("fileserver", 1)
+	}()
 	return p.Sleep(ctx, d)
 }
 
@@ -227,6 +232,7 @@ func (b *Buffer) Write(p *sim.Proc, ctx context.Context, name string, size int64
 	// Chaos seam: a fault plan may slow the write or fail it outright,
 	// upstream of the organic ENOSPC path below.
 	if fa := core.InjectAt(b.inj, InjectWrite); !fa.Zero() {
+		p.Tracer().FaultInjected(InjectWrite)
 		if fa.Delay > 0 {
 			if err := p.Sleep(ctx, fa.Delay); err != nil {
 				return err

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ProducerConfig shapes one producer client: "a continuous loop,
@@ -23,6 +24,8 @@ type ProducerConfig struct {
 	TryLimit time.Duration
 	// Observer receives discipline events.
 	Observer core.Observer
+	// Trace, when non-nil, records this producer's attempt timeline.
+	Trace *trace.Client
 }
 
 // DefaultProducerConfig mirrors the paper.
@@ -63,12 +66,16 @@ func Sense(b *Buffer, expect int64) func(ctx context.Context) error {
 // Loop produces files until ctx is canceled, applying the configured
 // discipline to each file's write.
 func (pr *Producer) Loop(p *sim.Proc, ctx context.Context, b *Buffer, id int, cfg ProducerConfig) {
+	p.SetTracer(cfg.Trace)
 	client := &core.Client{
 		Rt:         p,
 		Discipline: cfg.Discipline,
 		Limit:      core.For(cfg.TryLimit),
 		Sense:      Sense(b, cfg.MaxFileSize),
 		Observer:   cfg.Observer,
+		Trace:      cfg.Trace,
+		Site:       "disk",
+		Span:       "write",
 	}
 	seq := 0
 	for ctx.Err() == nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ftsh/ast"
 	"repro/internal/ftsh/parser"
 	"repro/internal/ftsh/token"
+	"repro/internal/trace"
 )
 
 // Runner executes external commands on behalf of the interpreter.
@@ -79,6 +80,11 @@ type Config struct {
 	Backoff *core.Backoff
 	// Observer receives core discipline events from every try.
 	Observer core.Observer
+	// Trace, when non-nil, records every try's attempt/backoff timeline
+	// and wraps try/forany/forall constructs in spans named by script
+	// position. Forall branches trace on forked threads of the same
+	// client.
+	Trace *trace.Client
 }
 
 // Interp executes scripts. An Interp carries variable state between
@@ -223,7 +229,7 @@ func (in *Interp) execTry(ctx context.Context, st *ast.TryStmt) error {
 	sawSuccess := false
 	ts := in.stats.try(st.Pos().String())
 	obs := &tryObserver{rt: in.cfg.Runtime, inner: in.cfg.Observer, ts: ts, stats: in.stats}
-	cfg := core.TryConfig{Observer: obs}
+	cfg := core.TryConfig{Observer: obs, Trace: in.cfg.Trace, Span: fmt.Sprintf("try@%s", st.Pos())}
 	switch {
 	case st.Limit.Every > 0:
 		// `every N`: a fixed interval replaces the exponential backoff.
@@ -332,6 +338,9 @@ func (in *Interp) execForany(ctx context.Context, st *ast.ForanyStmt) error {
 		return &PosError{Pos: st.Pos(), Err: errors.New("forany: empty alternative list")}
 	}
 	sawSuccess := false
+	tr := in.cfg.Trace
+	span := tr.SpanBegin(fmt.Sprintf("forany@%s", st.Pos()))
+	defer tr.SpanEnd(span)
 	winner, err := core.Forany(ctx, in.cfg.Runtime, items, in.cfg.ShuffleForany, func(ctx context.Context, item string) error {
 		in.vars[st.Var] = item
 		err := in.execBlock(ctx, st.Body)
@@ -358,8 +367,11 @@ func (in *Interp) execForall(ctx context.Context, st *ast.ForallStmt) error {
 	if err != nil {
 		return &PosError{Pos: st.Pos(), Err: err}
 	}
+	tr := in.cfg.Trace
+	span := tr.SpanBegin(fmt.Sprintf("forall@%s", st.Pos()))
+	defer tr.SpanEnd(span)
 	err = core.ForallN(ctx, in.cfg.Runtime, in.cfg.MaxForall, items, func(ctx context.Context, rt core.Runtime, item string) error {
-		branch := in.cloneForBranch(rt)
+		branch := in.cloneForBranch(rt, tr.Fork(fmt.Sprintf("forall@%s %s", st.Pos(), item)))
 		branch.vars[st.Var] = item
 		err := branch.execBlock(ctx, st.Body)
 		if errors.Is(err, errSuccess) {
@@ -374,10 +386,12 @@ func (in *Interp) execForall(ctx context.Context, st *ast.ForallStmt) error {
 }
 
 // cloneForBranch copies variable state for a forall branch running under
-// runtime rt. Functions are shared (they are immutable once defined).
-func (in *Interp) cloneForBranch(rt core.Runtime) *Interp {
+// runtime rt and tracing to tc. Functions are shared (they are immutable
+// once defined).
+func (in *Interp) cloneForBranch(rt core.Runtime, tc *trace.Client) *Interp {
 	cfg := in.cfg
 	cfg.Runtime = rt
+	cfg.Trace = tc
 	vars := make(map[string]string, len(in.vars))
 	for k, v := range in.vars {
 		vars[k] = v

@@ -181,6 +181,24 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Min returns the smallest observed value, or 0 before any Observe
+// (the raw MinV field is +Inf in that state).
+func (h *Histogram) Min() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.MinV
+}
+
+// Max returns the largest observed value, or 0 before any Observe
+// (the raw MaxV field is -Inf in that state).
+func (h *Histogram) Max() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.MaxV
+}
+
 // Mean returns the mean of observed values (0 if none).
 func (h *Histogram) Mean() float64 {
 	if h.Count == 0 {
@@ -212,8 +230,9 @@ type Table struct {
 	Series []*Series
 }
 
-// WriteTo renders the table. It implements io.WriterTo.
-func (t *Table) WriteTo(w io.Writer) (int64, error) {
+// xUnion returns the sorted union of all x values across the table's
+// series — the shared row axis of both renderings.
+func (t *Table) xUnion() []time.Duration {
 	xs := map[time.Duration]struct{}{}
 	for _, s := range t.Series {
 		for _, p := range s.Points {
@@ -225,6 +244,12 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 		order = append(order, x)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return order
+}
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	order := t.xUnion()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-12s", t.XLabel)
@@ -246,17 +271,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 // WriteTSVTo renders the table as tab-separated values, one row per x,
 // ready for gnuplot or a spreadsheet.
 func (t *Table) WriteTSVTo(w io.Writer) (int64, error) {
-	xs := map[time.Duration]struct{}{}
-	for _, s := range t.Series {
-		for _, p := range s.Points {
-			xs[p.T] = struct{}{}
-		}
-	}
-	order := make([]time.Duration, 0, len(xs))
-	for x := range xs {
-		order = append(order, x)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	order := t.xUnion()
 
 	var b strings.Builder
 	b.WriteString(t.XLabel)
@@ -291,6 +306,15 @@ type SweepCol struct {
 	Vals []float64
 }
 
+// val returns the column's value for row i, or NaN when the column is
+// shorter than the x axis.
+func (c SweepCol) val(i int) float64 {
+	if i < len(c.Vals) {
+		return c.Vals[i]
+	}
+	return math.NaN()
+}
+
 // WriteTo renders the sweep table. It implements io.WriterTo.
 func (t *SweepTable) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
@@ -302,11 +326,7 @@ func (t *SweepTable) WriteTo(w io.Writer) (int64, error) {
 	for i, x := range t.Xs {
 		fmt.Fprintf(&b, "%-14d", x)
 		for _, c := range t.Cols {
-			v := math.NaN()
-			if i < len(c.Vals) {
-				v = c.Vals[i]
-			}
-			fmt.Fprintf(&b, " %14.1f", v)
+			fmt.Fprintf(&b, " %14.1f", c.val(i))
 		}
 		b.WriteByte('\n')
 	}
@@ -326,11 +346,7 @@ func (t *SweepTable) WriteTSVTo(w io.Writer) (int64, error) {
 	for i, x := range t.Xs {
 		fmt.Fprintf(&b, "%d", x)
 		for _, c := range t.Cols {
-			v := math.NaN()
-			if i < len(c.Vals) {
-				v = c.Vals[i]
-			}
-			fmt.Fprintf(&b, "\t%g", v)
+			fmt.Fprintf(&b, "\t%g", c.val(i))
 		}
 		b.WriteByte('\n')
 	}

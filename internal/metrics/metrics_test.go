@@ -91,8 +91,8 @@ func TestHistogramStats(t *testing.T) {
 	if math.Abs(h.Stddev()-2) > 1e-9 {
 		t.Fatalf("stddev = %v, want 2", h.Stddev())
 	}
-	if h.MinV != 2 || h.MaxV != 9 {
-		t.Fatalf("min/max = %v/%v", h.MinV, h.MaxV)
+	if h.Min() != 2 || h.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
 	}
 }
 
@@ -100,6 +100,11 @@ func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram("e")
 	if h.Mean() != 0 || h.Stddev() != 0 {
 		t.Fatal("empty histogram should report zeros")
+	}
+	// The raw fields are ±Inf before any Observe; the accessors must not
+	// leak that sentinel state.
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty min/max = %v/%v, want 0/0", h.Min(), h.Max())
 	}
 }
 
@@ -188,7 +193,7 @@ func TestQuickHistogramBounds(t *testing.T) {
 			return true
 		}
 		m := h.Mean()
-		return m >= h.MinV-1e-9*math.Abs(h.MinV)-1e-9 && m <= h.MaxV+1e-9*math.Abs(h.MaxV)+1e-9
+		return m >= h.Min()-1e-9*math.Abs(h.Min())-1e-9 && m <= h.Max()+1e-9*math.Abs(h.Max())+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config parameterizes the scenario.
@@ -115,7 +116,12 @@ func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
 	if err := s.lane.Acquire(p, ctx); err != nil {
 		return err
 	}
-	defer s.lane.Release()
+	tr := p.Tracer()
+	tr.Acquire(s.Name, 1)
+	defer func() {
+		s.lane.Release()
+		tr.Release(s.Name, 1)
+	}()
 	if s.BlackHole {
 		s.Absorbed++
 		return p.Hang(ctx) // never returns data; only cancellation frees us
@@ -123,6 +129,7 @@ func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
 	d := time.Duration(float64(size) / float64(s.cfg.Bandwidth) * float64(time.Second))
 	// Chaos seam: a fault plan may slow the transfer or drop it partway.
 	if f := core.InjectAt(s.inj, InjectFetch); !f.Zero() {
+		tr.FaultInjected(InjectFetch)
 		d += f.Delay
 		if f.Err != nil {
 			// The connection dies mid-transfer: half the bytes moved.
@@ -168,6 +175,8 @@ type ReaderConfig struct {
 	ProbeTimeout time.Duration
 	// Observer receives discipline events from the inner data try.
 	Observer core.Observer
+	// Trace, when non-nil, records this reader's attempt timeline.
+	Trace *trace.Client
 }
 
 // DefaultReaderConfig mirrors the paper's scripts.
@@ -212,36 +221,49 @@ type Event struct {
 // ReadOnce performs one work unit: fetch the file from any server,
 // within the outer limit. It implements the two paper scripts.
 func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) error {
-	return core.Try(ctx, p, core.For(cfg.OuterLimit), core.TryConfig{Observer: cfg.Observer}, func(ctx context.Context) error {
+	tr := cfg.Trace
+	// The outer try records the work-unit span and its backoff intervals;
+	// attempt events are emitted per server branch below, because the
+	// interesting collisions happen inside forany rounds that ultimately
+	// succeed on another server.
+	outer := core.TryConfig{Observer: cfg.Observer, Trace: tr, Span: "read", Site: "server", SpanOnly: true}
+	return core.Try(ctx, p, core.For(cfg.OuterLimit), outer, func(ctx context.Context) error {
 		_, err := core.Forany(ctx, p, servers, true, func(ctx context.Context, srv *Server) error {
 			if cfg.Discipline == core.Ethernet {
 				// try for 5 seconds: wget http://$host/flag
+				tr.Probe(srv.Name)
 				perr := core.Try(ctx, p, core.For(cfg.ProbeTimeout), core.TryConfig{NoBackoff: true, Backoff: nil}, func(ctx context.Context) error {
 					return srv.FetchFlag(p, ctx)
 				})
+				tr.CarrierSense(srv.Name, perr != nil)
 				if perr != nil {
 					if ctx.Err() != nil {
 						return ctx.Err()
 					}
 					r.Deferrals++
 					r.Events = append(r.Events, Event{Kind: EvDeferral, At: p.Engine().Elapsed()})
+					tr.Defer(srv.Name)
 					return core.Deferred(srv.Name)
 				}
 			}
 			// try for 60 seconds: wget http://$host/data
+			tr.Attempt()
 			derr := core.Try(ctx, p, core.For(cfg.DataTimeout), core.TryConfig{NoBackoff: true}, func(ctx context.Context) error {
 				return srv.FetchData(p, ctx)
 			})
 			if derr != nil {
 				if ctx.Err() != nil {
+					tr.Failure() // cut short by the outer budget: wasted work
 					return ctx.Err()
 				}
 				r.Collisions++
 				r.Events = append(r.Events, Event{Kind: EvCollision, At: p.Engine().Elapsed()})
+				tr.Collision(srv.Name)
 				return core.Collision(srv.Name, derr)
 			}
 			r.Done++
 			r.Events = append(r.Events, Event{Kind: EvTransfer, At: p.Engine().Elapsed()})
+			tr.Success()
 			return nil
 		})
 		return err
@@ -252,6 +274,7 @@ func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, c
 // repeatedly attempts to read a 100 MB file from a server chosen at
 // random".
 func (r *Reader) Loop(p *sim.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) {
+	p.SetTracer(cfg.Trace)
 	for ctx.Err() == nil {
 		_ = r.ReadOnce(p, ctx, servers, cfg)
 	}

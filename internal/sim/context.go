@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"sort"
 	"time"
 )
 
@@ -22,7 +23,8 @@ type Ctx struct {
 	deadline time.Duration // virtual; valid if hasDeadline
 	hasDL    bool
 	timer    *Timer
-	children map[*Ctx]struct{}
+	children map[*Ctx]int // value: registration order
+	childSeq int
 	hooks    map[int]func(error)
 	hookSeq  int
 }
@@ -71,7 +73,7 @@ func (c *Ctx) cancel(err error) {
 		h(err)
 	}
 	c.hooks = nil
-	for child := range c.children {
+	for _, child := range sortedChildren(c.children) {
 		child.cancel(err)
 	}
 	c.children = nil
@@ -99,6 +101,31 @@ func sortedHooks(m map[int]func(error)) []func(error) {
 		}
 	}
 	return out
+}
+
+// sortedChildren returns child contexts in registration order, so a
+// cascading cancellation wakes processes deterministically instead of
+// in map iteration order. (Trace determinism depends on this: the
+// unwind events at a shared window deadline must interleave the same
+// way in every run.)
+func sortedChildren(m map[*Ctx]int) []*Ctx {
+	if len(m) == 0 {
+		return nil
+	}
+	type entry struct {
+		c   *Ctx
+		seq int
+	}
+	out := make([]entry, 0, len(m))
+	for c, seq := range m {
+		out = append(out, entry{c, seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	cs := make([]*Ctx, len(out))
+	for i, e := range out {
+		cs[i] = e.c
+	}
+	return cs
 }
 
 // onCancel registers fn to run when the context is canceled and returns a
@@ -133,9 +160,10 @@ func (e *Engine) WithCancel(parent context.Context) (context.Context, context.Ca
 	}
 	if pc, ok := parent.(*Ctx); ok {
 		if pc.children == nil {
-			pc.children = make(map[*Ctx]struct{})
+			pc.children = make(map[*Ctx]int)
 		}
-		pc.children[child] = struct{}{}
+		pc.children[child] = pc.childSeq
+		pc.childSeq++
 	}
 	return child, func() { child.cancel(context.Canceled) }
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Proc is a simulated process: a goroutine that runs only while it holds
@@ -21,6 +22,7 @@ type Proc struct {
 	parked  bool
 	wakeErr error
 	done    bool
+	tracer  *trace.Client
 }
 
 // ErrProcKilled is returned from blocking calls when a process is woken
@@ -33,6 +35,16 @@ var _ core.Runtime = (*Proc)(nil)
 
 // Name returns the name given at Spawn time, for traces and tests.
 func (p *Proc) Name() string { return p.name }
+
+// SetTracer attaches a per-client trace handle to the process, giving
+// substrate code (schedd, buffer, replica server) a way to record
+// resource events against the client that triggered them. A nil handle
+// (the default) disables tracing.
+func (p *Proc) SetTracer(c *trace.Client) { p.tracer = c }
+
+// Tracer returns the process's trace handle; nil means tracing is off.
+// The nil handle is itself safe to emit on.
+func (p *Proc) Tracer() *trace.Client { return p.tracer }
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -180,6 +192,7 @@ func (p *Proc) Parallel(ctx context.Context, limit int, fns []func(ctx context.C
 	parentParked := false
 	for w := 0; w < workers; w++ {
 		p.eng.Spawn(p.name+"/par", func(child *Proc) {
+			child.tracer = parent.tracer // branches trace as their spawner
 			for next < len(fns) {
 				i := next
 				next++ // token-serialized: no race

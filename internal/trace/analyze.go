@@ -1,0 +1,293 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Summary aggregates one discipline's (one process's) behavior over a
+// trace: how often it attempted, how often those attempts collided,
+// how its clients split their time between penalty backoff, polite
+// carrier-sense waiting, holding the resource, and idling, and how
+// much attempt time was wasted on work that ended in failure.
+type Summary struct {
+	Proc       string
+	Threads    int
+	Attempts   int
+	Successes  int
+	Collisions int
+	Failures   int
+	Deferrals  int
+	Probes     int
+	SenseBusy  int
+	Faults     int // chaos interventions recorded against this process
+
+	Backoff time.Duration // backoff triggered by collision or failure
+	CSWait  time.Duration // backoff triggered by a carrier-sense defer
+	Holding time.Duration // at least one resource held
+	Busy    time.Duration // in an attempt, probing, or holding
+	Idle    time.Duration // window minus busy, backoff, and cs-wait
+	Wasted  time.Duration // attempt time ending in collision or failure
+
+	Window time.Duration // per-thread observation window
+}
+
+// CollisionRate is collisions per attempt (0 when no attempts).
+func (s Summary) CollisionRate() float64 { return rate(s.Collisions, s.Attempts) }
+
+// SenseBusyRate is the fraction of carrier-sense probes that came back
+// busy (0 when no probes).
+func (s Summary) SenseBusyRate() float64 { return rate(s.SenseBusy, s.Probes) }
+
+func rate(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// share expresses d as a fraction of the discipline's total
+// thread-time (window x threads).
+func (s Summary) share(d time.Duration) float64 {
+	total := time.Duration(s.Threads) * s.Window
+	if total <= 0 {
+		return 0
+	}
+	return float64(d) / float64(total)
+}
+
+// BackoffShare is the fraction of thread-time spent in penalty backoff.
+func (s Summary) BackoffShare() float64 { return s.share(s.Backoff) }
+
+// CSWaitShare is the fraction of thread-time spent politely waiting
+// after a busy carrier sense.
+func (s Summary) CSWaitShare() float64 { return s.share(s.CSWait) }
+
+// HoldingShare is the fraction of thread-time spent holding resources.
+func (s Summary) HoldingShare() float64 { return s.share(s.Holding) }
+
+// IdleShare is the fraction of thread-time spent neither attempting,
+// holding, nor waiting.
+func (s Summary) IdleShare() float64 { return s.share(s.Idle) }
+
+// threadState is the per-thread walk state used by Analyze.
+type threadState struct {
+	inAttempt    bool
+	attemptStart time.Duration
+
+	inProbe bool // between a probe and its carrier-sense verdict
+
+	inBackoff    bool
+	backoffStart time.Duration
+	backoffKind  string
+
+	holdDepth int
+	holdStart time.Duration
+
+	busyStart time.Duration // valid while busy()
+}
+
+// busy reports whether the thread is doing productive work: attempting,
+// probing a carrier, or holding a resource.
+func (st *threadState) busy() bool {
+	return st.inAttempt || st.inProbe || st.holdDepth > 0
+}
+
+// Analyze folds the trace into one Summary per process, in PID
+// (registration) order. The observation window is the latest event
+// time in the trace, applied uniformly so disciplines traced in the
+// same run are directly comparable; intervals still open at the window
+// edge are counted up to it.
+func Analyze(t *Tracer) []Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	var window time.Duration
+	for _, ev := range t.events {
+		if ev.At > window {
+			window = ev.At
+		}
+	}
+
+	sums := make([]Summary, len(t.procs))
+	for pid, name := range t.procs {
+		sums[pid] = Summary{Proc: name, Window: window}
+	}
+	for _, th := range t.threads {
+		sums[th.pid].Threads++
+	}
+
+	states := make([]threadState, len(t.threads))
+	for _, ev := range t.events {
+		st := &states[ev.TID]
+		s := &sums[ev.PID]
+		wasBusy := st.busy()
+		switch ev.Kind {
+		case KProbe:
+			s.Probes++
+			st.inProbe = true
+		case KCarrierSense:
+			if ev.Arg != 0 {
+				s.SenseBusy++
+			}
+			st.inProbe = false
+		case KAttempt:
+			s.Attempts++
+			st.inAttempt = true
+			st.attemptStart = ev.At
+		case KSuccess, KFailure, KCollision:
+			switch ev.Kind {
+			case KSuccess:
+				s.Successes++
+			case KFailure:
+				s.Failures++
+			case KCollision:
+				s.Collisions++
+			}
+			if st.inAttempt {
+				if ev.Kind != KSuccess {
+					s.Wasted += ev.At - st.attemptStart
+				}
+				st.inAttempt = false
+			}
+		case KDefer:
+			s.Deferrals++
+		case KFaultInjected:
+			s.Faults++
+		case KBackoffStart:
+			st.inBackoff = true
+			st.backoffStart = ev.At
+			st.backoffKind = ev.Site
+		case KBackoffEnd:
+			if st.inBackoff {
+				st.inBackoff = false
+				if st.backoffKind == "defer" {
+					s.CSWait += ev.At - st.backoffStart
+				} else {
+					s.Backoff += ev.At - st.backoffStart
+				}
+			}
+		case KAcquire:
+			if st.holdDepth == 0 {
+				st.holdStart = ev.At
+			}
+			st.holdDepth++
+		case KRelease:
+			if st.holdDepth > 0 {
+				st.holdDepth--
+				if st.holdDepth == 0 {
+					s.Holding += ev.At - st.holdStart
+				}
+			}
+		}
+		// Busy is the union of the attempt, probe, and hold intervals,
+		// accounted at membership transitions.
+		if nowBusy := st.busy(); nowBusy != wasBusy {
+			if nowBusy {
+				st.busyStart = ev.At
+			} else {
+				s.Busy += ev.At - st.busyStart
+			}
+		}
+	}
+
+	// Close intervals still open at the window edge.
+	for tid := range states {
+		st := &states[tid]
+		s := &sums[t.threads[tid].pid]
+		if st.inBackoff {
+			if st.backoffKind == "defer" {
+				s.CSWait += window - st.backoffStart
+			} else {
+				s.Backoff += window - st.backoffStart
+			}
+		}
+		if st.holdDepth > 0 {
+			s.Holding += window - st.holdStart
+		}
+		if st.busy() {
+			s.Busy += window - st.busyStart
+		}
+	}
+
+	for pid := range sums {
+		s := &sums[pid]
+		total := time.Duration(s.Threads) * s.Window
+		idle := total - s.Busy - s.Backoff - s.CSWait
+		if idle < 0 {
+			idle = 0
+		}
+		s.Idle = idle
+	}
+	return sums
+}
+
+// WriteSummary renders the per-discipline summaries as an aligned text
+// table. Shares are percentages of total thread-time; "backoff" counts
+// only penalty backoff after a collision or failure, while "cs-wait"
+// counts the polite waiting an Ethernet client does after sensing a
+// busy carrier.
+func WriteSummary(w io.Writer, sums []Summary) error {
+	if _, err := fmt.Fprintf(w, "# trace summary: window=%s\n", durStr(windowOf(sums))); err != nil {
+		return err
+	}
+	header := []string{"discipline", "clients", "attempts", "coll", "coll-rate", "probes", "sense-busy", "backoff", "cs-wait", "holding", "idle", "faults", "wasted"}
+	rows := [][]string{header}
+	for _, s := range sums {
+		rows = append(rows, []string{
+			s.Proc,
+			fmt.Sprintf("%d", s.Threads),
+			fmt.Sprintf("%d", s.Attempts),
+			fmt.Sprintf("%d", s.Collisions),
+			pct(s.CollisionRate()),
+			fmt.Sprintf("%d", s.Probes),
+			pct(s.SenseBusyRate()),
+			pct(s.BackoffShare()),
+			pct(s.CSWaitShare()),
+			pct(s.HoldingShare()),
+			pct(s.IdleShare()),
+			fmt.Sprintf("%d", s.Faults),
+			durStr(s.Wasted),
+		})
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func windowOf(sums []Summary) time.Duration {
+	if len(sums) == 0 {
+		return 0
+	}
+	return sums[0].Window
+}
+
+// pct formats a fraction as a fixed-width percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// durStr rounds a duration to milliseconds for stable, readable cells.
+func durStr(d time.Duration) string { return d.Round(time.Millisecond).String() }

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteJSONL writes the trace as line-delimited JSON: one meta line,
+// one line per process and thread registration, then one line per
+// event in emission order. All numbers are integers (times in
+// nanoseconds) and the encoder is hand-rolled, so two runs with the
+// same seed produce byte-identical output.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `{"meta":{"seed":%d,"scenario":%s,"plan":%s,"planSeed":%d}}`+"\n",
+		t.meta.Seed, strconv.Quote(t.meta.Scenario), strconv.Quote(t.meta.Plan), t.meta.PlanSeed)
+	for pid, name := range t.procs {
+		fmt.Fprintf(bw, `{"proc":{"pid":%d,"name":%s}}`+"\n", pid, strconv.Quote(name))
+	}
+	for tid, th := range t.threads {
+		fmt.Fprintf(bw, `{"thread":{"tid":%d,"pid":%d,"name":%s}}`+"\n", tid, th.pid, strconv.Quote(th.name))
+	}
+	for _, ev := range t.events {
+		fmt.Fprintf(bw, `{"t":%d,"k":%s,"pid":%d,"tid":%d,"arg":%d,"site":%s}`+"\n",
+			int64(ev.At), strconv.Quote(ev.Kind.String()), ev.PID, ev.TID, ev.Arg, strconv.Quote(ev.Site))
+	}
+	return bw.Flush()
+}
+
+// usec renders a duration as microseconds with fractional precision,
+// the unit Chrome trace-event timestamps use.
+func usec(d time.Duration) string {
+	ns := int64(d)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// chromeWriter accumulates trace-event objects with the bookkeeping
+// needed to pair begin/end kinds into complete (ph "X") slices.
+type chromeWriter struct {
+	bw    *bufio.Writer
+	first bool
+	err   error
+}
+
+func (cw *chromeWriter) event(body string) {
+	if cw.err != nil {
+		return
+	}
+	if !cw.first {
+		if _, err := cw.bw.WriteString(",\n"); err != nil {
+			cw.err = err
+			return
+		}
+	}
+	cw.first = false
+	if _, err := cw.bw.WriteString(body); err != nil {
+		cw.err = err
+	}
+}
+
+// openInterval is a begin event waiting for its matching end.
+type openInterval struct {
+	at   time.Duration
+	site string
+	arg  int64
+}
+
+// WriteChrome writes the trace in the Chrome trace-event JSON format,
+// loadable in Perfetto or chrome://tracing: one "process" per
+// discipline, one "thread" per client. Attempts, backoffs, and
+// resource holds become complete ("X") slices; spans become nested
+// B/E pairs; probes, sense verdicts, deferrals, and faults become
+// instants. Intervals still open when the trace ends are closed at the
+// final timestamp so viewers never see dangling slices.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cw := &chromeWriter{bw: bufio.NewWriter(w), first: true}
+	if _, err := cw.bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	// Metadata: name every process and thread.
+	for pid, name := range t.procs {
+		cw.event(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, strconv.Quote(name)))
+		cw.event(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`,
+			pid, pid))
+	}
+	for tid, th := range t.threads {
+		cw.event(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			th.pid, tid, strconv.Quote(th.name)))
+	}
+
+	var end time.Duration
+	for _, ev := range t.events {
+		if ev.At > end {
+			end = ev.At
+		}
+	}
+
+	slice := func(name string, pid, tid int32, from, to time.Duration, args string) {
+		cw.event(fmt.Sprintf(`{"name":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{%s}}`,
+			strconv.Quote(name), pid, tid, usec(from), usec(to-from), args))
+	}
+	instant := func(name string, pid, tid int32, at time.Duration, args string) {
+		cw.event(fmt.Sprintf(`{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{%s}}`,
+			strconv.Quote(name), pid, tid, usec(at), args))
+	}
+
+	attempts := make(map[int32]*openInterval) // per tid
+	backoffs := make(map[int32]*openInterval) // per tid
+	holds := make(map[int32][]openInterval)   // per tid, LIFO per site
+	spans := make(map[int64]openInterval)     // span id -> begin
+	spanTID := make(map[int64]int32)
+	var openSpans []int64 // ids in begin order, for end-of-trace closing
+
+	for _, ev := range t.events {
+		switch ev.Kind {
+		case KProbe:
+			instant("probe", ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
+		case KCarrierSense:
+			verdict := "sense-idle"
+			if ev.Arg != 0 {
+				verdict = "sense-busy"
+			}
+			instant(verdict, ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
+		case KAttempt:
+			attempts[ev.TID] = &openInterval{at: ev.At}
+		case KSuccess, KFailure, KCollision:
+			if a := attempts[ev.TID]; a != nil {
+				args := "\"result\":" + strconv.Quote(ev.Kind.String())
+				if ev.Site != "" {
+					args += ",\"site\":" + strconv.Quote(ev.Site)
+				}
+				slice("attempt", ev.PID, ev.TID, a.at, ev.At, args)
+				delete(attempts, ev.TID)
+			}
+		case KDefer:
+			instant("defer", ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
+		case KExhausted:
+			instant("exhausted", ev.PID, ev.TID, ev.At, "")
+		case KBackoffStart:
+			backoffs[ev.TID] = &openInterval{at: ev.At, site: ev.Site, arg: ev.Arg}
+		case KBackoffEnd:
+			if b := backoffs[ev.TID]; b != nil {
+				args := fmt.Sprintf(`"trigger":%s,"planned_ns":%d`, strconv.Quote(b.site), b.arg)
+				slice("backoff", ev.PID, ev.TID, b.at, ev.At, args)
+				delete(backoffs, ev.TID)
+			}
+		case KAcquire:
+			holds[ev.TID] = append(holds[ev.TID], openInterval{at: ev.At, site: ev.Site, arg: ev.Arg})
+		case KRelease:
+			// Pop the most recent matching acquire on this thread.
+			hs := holds[ev.TID]
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i].site == ev.Site {
+					args := fmt.Sprintf(`"units":%d`, hs[i].arg)
+					slice("hold:"+ev.Site, ev.PID, ev.TID, hs[i].at, ev.At, args)
+					holds[ev.TID] = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
+		case KFaultInjected:
+			instant("fault:"+ev.Site, ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
+		case KSpanBegin:
+			cw.event(fmt.Sprintf(`{"name":%s,"ph":"B","pid":%d,"tid":%d,"ts":%s}`,
+				strconv.Quote(ev.Site), ev.PID, ev.TID, usec(ev.At)))
+			spans[ev.Arg] = openInterval{at: ev.At, site: ev.Site}
+			spanTID[ev.Arg] = ev.TID
+			openSpans = append(openSpans, ev.Arg)
+		case KSpanEnd:
+			if sp, ok := spans[ev.Arg]; ok {
+				cw.event(fmt.Sprintf(`{"name":%s,"ph":"E","pid":%d,"tid":%d,"ts":%s}`,
+					strconv.Quote(sp.site), ev.PID, ev.TID, usec(ev.At)))
+				delete(spans, ev.Arg)
+				delete(spanTID, ev.Arg)
+			}
+		}
+	}
+
+	// Close anything still open at the end of the trace, in
+	// deterministic (tid, then begin) order.
+	for tid := int32(0); int(tid) < len(t.threads); tid++ {
+		pid := t.threads[tid].pid
+		if a := attempts[tid]; a != nil {
+			slice("attempt", pid, tid, a.at, end, `"result":"open"`)
+		}
+		if b := backoffs[tid]; b != nil {
+			args := fmt.Sprintf(`"trigger":%s,"planned_ns":%d`, strconv.Quote(b.site), b.arg)
+			slice("backoff", pid, tid, b.at, end, args)
+		}
+		for _, h := range holds[tid] {
+			slice("hold:"+h.site, pid, tid, h.at, end, fmt.Sprintf(`"units":%d`, h.arg))
+		}
+	}
+	// Unclosed spans must end innermost-first to keep B/E nesting legal.
+	for i := len(openSpans) - 1; i >= 0; i-- {
+		id := openSpans[i]
+		sp, ok := spans[id]
+		if !ok {
+			continue
+		}
+		tid := spanTID[id]
+		cw.event(fmt.Sprintf(`{"name":%s,"ph":"E","pid":%d,"tid":%d,"ts":%s}`,
+			strconv.Quote(sp.site), t.threads[tid].pid, tid, usec(end)))
+	}
+
+	if cw.err != nil {
+		return cw.err
+	}
+	meta := fmt.Sprintf(`,"displayTimeUnit":"ms","otherData":{"seed":%d,"scenario":%s,"plan":%s,"planSeed":%d}`,
+		t.meta.Seed, strconv.Quote(t.meta.Scenario), strconv.Quote(t.meta.Plan), t.meta.PlanSeed)
+	if _, err := cw.bw.WriteString("\n]" + meta + "}\n"); err != nil {
+		return err
+	}
+	return cw.bw.Flush()
+}

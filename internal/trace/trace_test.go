@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable virtual clock for hand-built traces.
+type fakeClock struct{ now time.Duration }
+
+func (f *fakeClock) at(d time.Duration) { f.now = d }
+func (f *fakeClock) read() time.Duration {
+	return f.now
+}
+
+func TestNilTracerAndClientAreInert(t *testing.T) {
+	var tr *Tracer
+	c := tr.NewClient("p", "t", nil)
+	if c != nil {
+		t.Fatal("nil tracer must hand out nil clients")
+	}
+	if c.Tracer() != nil {
+		t.Fatal("nil client Tracer() should be nil")
+	}
+	if f := c.Fork("x"); f != nil {
+		t.Fatal("nil client Fork() should be nil")
+	}
+	// Every emitter must be a no-op; a panic here fails the test.
+	c.Probe("s")
+	c.CarrierSense("s", true)
+	c.Attempt()
+	c.Success()
+	c.Failure()
+	c.Collision("s")
+	c.Defer("s")
+	c.Exhausted()
+	c.BackoffStart(time.Second, "collision")
+	c.BackoffEnd()
+	c.Acquire("r", 1)
+	c.Release("r", 1)
+	c.FaultInjected("site")
+	c.SpanEnd(c.SpanBegin("span"))
+}
+
+func TestNilClientZeroAllocations(t *testing.T) {
+	var c *Client
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Probe("s")
+		c.Attempt()
+		c.Collision("s")
+		c.BackoffStart(time.Second, "collision")
+		c.BackoffEnd()
+		c.SpanEnd(c.SpanBegin("span"))
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestClientRegistry(t *testing.T) {
+	tr := New()
+	clk := &fakeClock{}
+	a := tr.NewClient("Ethernet", "client-0", clk.read)
+	b := tr.NewClient("Ethernet", "client-1", clk.read)
+	c := tr.NewClient("Aloha", "client-0", clk.read)
+	if a.pid != b.pid {
+		t.Fatalf("same process name got pids %d and %d", a.pid, b.pid)
+	}
+	if a.pid == c.pid {
+		t.Fatal("distinct process names share a pid")
+	}
+	if a.tid == b.tid {
+		t.Fatal("distinct clients share a tid")
+	}
+	f := a.Fork("branch")
+	if f.pid != a.pid || f.tid == a.tid {
+		t.Fatalf("fork got pid=%d tid=%d, want pid=%d and a fresh tid", f.pid, f.tid, a.pid)
+	}
+	if got := tr.Procs(); len(got) != 2 || got[0] != "Ethernet" || got[1] != "Aloha" {
+		t.Fatalf("procs = %v", got)
+	}
+}
+
+// TestAnalyzeBuckets drives one client through every interval kind with
+// known durations and checks each accounting bucket.
+func TestAnalyzeBuckets(t *testing.T) {
+	tr := New()
+	clk := &fakeClock{}
+	c := tr.NewClient("Ethernet", "client-0", clk.read)
+
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	clk.at(sec(0))
+	c.Attempt()
+	clk.at(sec(10))
+	c.Success() // 10 s successful attempt
+	c.BackoffStart(2*time.Second, "collision")
+	clk.at(sec(12))
+	c.BackoffEnd() // 2 s penalty backoff
+	c.BackoffStart(time.Second, "defer")
+	clk.at(sec(13))
+	c.BackoffEnd() // 1 s polite cs-wait
+	c.Acquire("r", 1)
+	clk.at(sec(15))
+	c.Release("r", 1) // 2 s holding
+	c.Probe("r")
+	clk.at(sec(16))
+	c.CarrierSense("r", true) // 1 s probing
+	c.Attempt()
+	clk.at(sec(18))
+	c.Collision("r") // 2 s wasted attempt
+
+	sums := Analyze(tr)
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(sums))
+	}
+	s := sums[0]
+	checks := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"Proc", s.Proc, "Ethernet"},
+		{"Threads", s.Threads, 1},
+		{"Attempts", s.Attempts, 2},
+		{"Successes", s.Successes, 1},
+		{"Collisions", s.Collisions, 1},
+		{"Probes", s.Probes, 1},
+		{"SenseBusy", s.SenseBusy, 1},
+		{"Backoff", s.Backoff, sec(2)},
+		{"CSWait", s.CSWait, sec(1)},
+		{"Holding", s.Holding, sec(2)},
+		{"Busy", s.Busy, sec(15)}, // 10 attempt + 2 hold + 1 probe + 2 attempt
+		{"Idle", s.Idle, sec(0)},
+		{"Wasted", s.Wasted, sec(2)},
+		{"Window", s.Window, sec(18)},
+	}
+	for _, ck := range checks {
+		if ck.got != ck.want {
+			t.Errorf("%s = %v, want %v", ck.name, ck.got, ck.want)
+		}
+	}
+	if s.CollisionRate() != 0.5 {
+		t.Errorf("CollisionRate = %v, want 0.5", s.CollisionRate())
+	}
+}
+
+// TestAnalyzeClosesOpenIntervals checks end-of-window accounting for a
+// client still backing off and holding when the trace ends.
+func TestAnalyzeClosesOpenIntervals(t *testing.T) {
+	tr := New()
+	clk := &fakeClock{}
+	a := tr.NewClient("Aloha", "stuck", clk.read)
+	b := tr.NewClient("Aloha", "marker", clk.read)
+
+	clk.at(0)
+	a.BackoffStart(time.Minute, "failure")
+	a.Acquire("r", 1)
+	clk.at(10 * time.Second)
+	b.Probe("x") // advances the window without touching a's intervals
+
+	s := Analyze(tr)[0]
+	if s.Backoff != 10*time.Second {
+		t.Errorf("open backoff booked %v, want 10s", s.Backoff)
+	}
+	if s.Holding != 10*time.Second {
+		t.Errorf("open hold booked %v, want 10s", s.Holding)
+	}
+}
+
+func TestWriteJSONLExact(t *testing.T) {
+	tr := New()
+	tr.SetMeta(Meta{Seed: 5, Scenario: "unit", Plan: "mixed", PlanSeed: 9})
+	clk := &fakeClock{}
+	c := tr.NewClient("P", "main", clk.read)
+	clk.at(1500 * time.Nanosecond)
+	c.Attempt()
+	clk.at(2500 * time.Nanosecond)
+	c.Collision(`he said "hi"`)
+
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"meta":{"seed":5,"scenario":"unit","plan":"mixed","planSeed":9}}
+{"proc":{"pid":0,"name":"P"}}
+{"thread":{"tid":0,"pid":0,"name":"main"}}
+{"t":1500,"k":"attempt","pid":0,"tid":0,"arg":0,"site":""}
+{"t":2500,"k":"collision","pid":0,"tid":0,"arg":0,"site":"he said \"hi\""}
+`
+	if sb.String() != want {
+		t.Errorf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	// Every line must also be valid JSON.
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Errorf("line %q: %v", line, err)
+		}
+	}
+}
+
+// TestWriteChromeWellFormed builds a trace exercising every event kind,
+// including intervals left open at the end, and checks the export is a
+// single valid JSON document with balanced span begin/ends.
+func TestWriteChromeWellFormed(t *testing.T) {
+	tr := New()
+	tr.SetMeta(Meta{Seed: 1, Scenario: "unit"})
+	clk := &fakeClock{}
+	c := tr.NewClient("Ethernet", "client-0", clk.read)
+
+	clk.at(0)
+	outer := c.SpanBegin("read")
+	c.Probe("s1")
+	clk.at(time.Second)
+	c.CarrierSense("s1", false)
+	c.Attempt()
+	c.Acquire("s1", 1)
+	clk.at(2 * time.Second)
+	c.Release("s1", 1)
+	c.Success()
+	c.SpanEnd(outer)
+	c.BackoffStart(time.Second, "defer")
+	clk.at(3 * time.Second)
+	c.BackoffEnd()
+	c.FaultInjected("chaos/flap")
+	c.Defer("s2")
+	c.Exhausted()
+	// Leave an attempt, a hold, and a span open at the window edge.
+	_ = c.SpanBegin("dangling")
+	c.Attempt()
+	c.Acquire("s2", 1)
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["scenario"] != "unit" {
+		t.Errorf("otherData = %v", doc.OtherData)
+	}
+	begins, ends := 0, 0
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name]++
+		switch ev.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins != ends {
+		t.Errorf("unbalanced spans: %d B vs %d E", begins, ends)
+	}
+	for _, want := range []string{
+		"process_name", "thread_name", "probe", "sense-idle", "attempt",
+		"hold:s1", "hold:s2", "backoff", "fault:chaos/flap", "defer",
+		"exhausted", "read", "dangling",
+	} {
+		if names[want] == 0 {
+			t.Errorf("missing %q event in chrome export", want)
+		}
+	}
+	// The dangling attempt must be closed at the final timestamp.
+	if names["attempt"] != 2 {
+		t.Errorf("attempt slices = %d, want 2 (one closed at window edge)", names["attempt"])
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	tr := New()
+	clk := &fakeClock{}
+	c := tr.NewClient("Ethernet", "client-0", clk.read)
+	clk.at(0)
+	c.Attempt()
+	clk.at(time.Second)
+	c.Success()
+
+	var sb strings.Builder
+	if err := WriteSummary(&sb, Analyze(tr)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# trace summary: window=1s", "discipline", "coll-rate", "Ethernet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("summary has %d lines, want 3 (comment, header, one row):\n%s", len(lines), out)
+	}
+}

@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race short bench-smoke fuzz-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke golden ci
 
 all: build
 
@@ -24,6 +24,13 @@ short:
 race:
 	$(GO) test -race ./...
 
+# Fast-failing race gate on the arbitration-critical packages: the
+# retry machinery (whose TryConfig templates are shared across
+# concurrent clients) and the lease manager. The full `race` target
+# still covers everything; this one fails in seconds.
+race-core:
+	$(GO) test -race ./internal/core ./internal/lease
+
 # Run every benchmark exactly once: keeps the harnesses compiling and
 # passing (including the tracer-overhead benchmarks) without paying for
 # real measurement in CI.
@@ -40,4 +47,4 @@ fuzz-smoke:
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race bench-smoke fuzz-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke

@@ -62,6 +62,7 @@ func TestGoldenFig7TSV(t *testing.T)    { golden(t, "fig7_tsv", "-fig", "7", "-s
 func TestGoldenFig7Chaos(t *testing.T) {
 	golden(t, "fig7_chaos", "-fig", "7", "-scale", "0.2", "-chaos", "mixed", "-check")
 }
+func TestGoldenFigLATable(t *testing.T) { golden(t, "figla_table", "-fig", "la", "-scale", "0.1") }
 
 func TestDeterministicWithChaos(t *testing.T) {
 	args := []string{"-fig", "3", "-scale", "0.1", "-chaos", "mixed", "-check"}

@@ -4,13 +4,17 @@
 //
 // Usage:
 //
-//	gridbench [-fig N] [-seed S] [-scale F] [-format table|tsv]
+//	gridbench [-fig N|la] [-seed S] [-scale F] [-format table|tsv]
 //	          [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
 //
 // Without -fig, every figure is produced in order. Output is plain
 // aligned text (or TSV for plotting): sweep tables for Figures 1, 4,
-// and 5, and time series tables for Figures 2, 3, 6, and 7.
+// and 5, and time series tables for Figures 2, 3, 6, and 7. Figure
+// "la" is this repository's limited-allocation ablation: the Ethernet
+// submitter population under a stuck-holder fault plan, with and
+// without leased FD tenure (throughput, Jain's fairness index, and
+// starvation accounting; see internal/lease).
 //
 // -chaos regenerates the figures under a named fault-injection plan
 // (see internal/chaos; plans: bursts, crashes, flap, latency, mixed,
@@ -52,7 +56,7 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.Int("fig", 0, "figure to regenerate (1-7); 0 means all")
+	fig := fs.String("fig", "", "figure to regenerate (1-7 or la); empty means all")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
 	format := fs.String("format", "table", "output format: table or tsv")
@@ -93,20 +97,22 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *check {
 		opt.Check = &chaos.Recorder{}
 	}
-	figs := []int{1, 2, 3, 4, 5, 6, 7}
-	if *fig != 0 {
-		if *fig < 1 || *fig > 7 {
-			fmt.Fprintf(stderr, "gridbench: no such figure %d (the paper has Figures 1-7)\n", *fig)
+	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la"}
+	if *fig != "" {
+		switch *fig {
+		case "1", "2", "3", "4", "5", "6", "7", "la":
+			figs = []string{*fig}
+		default:
+			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation)\n", *fig)
 			return 2
 		}
-		figs = []int{*fig}
 	}
 
 	if *traceOut != "" || *traceSummary {
 		opt.Trace = trace.New()
 		scenario := "all"
-		if *fig != 0 {
-			scenario = fmt.Sprintf("fig%d", *fig)
+		if *fig != "" {
+			scenario = "fig" + *fig
 		}
 		m := trace.Meta{Seed: *seed, Scenario: scenario}
 		if opt.Chaos != nil {
@@ -119,41 +125,47 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	for _, f := range figs {
 		start := time.Now()
 		switch f {
-		case 1:
-			r.header(1, "Scalability of Job Submission", "jobs submitted in 5 minutes vs number of submitters")
+		case "1":
+			r.header("1", "Scalability of Job Submission", "jobs submitted in 5 minutes vs number of submitters")
 			r.dump(expt.Fig1(opt))
-		case 2:
-			r.header(2, "Timeline of Aloha Submitter", "available FDs and cumulative jobs, 400 clients, 30 minutes")
+		case "2":
+			r.header("2", "Timeline of Aloha Submitter", "available FDs and cumulative jobs, 400 clients, 30 minutes")
 			tl := expt.Fig2(opt)
 			r.dump(tl.Table())
 			fmt.Fprintf(r.w, "# schedd crashes: %d\n", tl.Crashes)
-		case 3:
-			r.header(3, "Timeline of Ethernet Submitter", "available FDs and cumulative jobs, 400 clients, 30 minutes")
+		case "3":
+			r.header("3", "Timeline of Ethernet Submitter", "available FDs and cumulative jobs, 400 clients, 30 minutes")
 			tl := expt.Fig3(opt)
 			r.dump(tl.Table())
 			fmt.Fprintf(r.w, "# schedd crashes: %d\n", tl.Crashes)
-		case 4:
-			r.header(4, "Buffer Throughput", "total files consumed vs number of producers")
+		case "4":
+			r.header("4", "Buffer Throughput", "total files consumed vs number of producers")
 			if bufferSweep == nil {
 				bufferSweep = expt.RunBufferSweep(opt)
 			}
 			r.dump(bufferSweep.Consumed)
-		case 5:
-			r.header(5, "Buffer Collisions", "total write collisions vs number of producers")
+		case "5":
+			r.header("5", "Buffer Collisions", "total write collisions vs number of producers")
 			if bufferSweep == nil {
 				bufferSweep = expt.RunBufferSweep(opt)
 			}
 			r.dump(bufferSweep.Collisions)
-		case 6:
-			r.header(6, "Aloha File Reader", "cumulative transfers and collisions over 900 seconds")
+		case "6":
+			r.header("6", "Aloha File Reader", "cumulative transfers and collisions over 900 seconds")
 			tl := expt.Fig6(opt)
 			r.dump(tl.Table())
 			fmt.Fprintf(r.w, "# totals: transfers=%d collisions=%d\n", tl.TotalTransfers, tl.TotalCollisions)
-		case 7:
-			r.header(7, "Ethernet File Reader", "cumulative transfers and deferrals over 900 seconds")
+		case "7":
+			r.header("7", "Ethernet File Reader", "cumulative transfers and deferrals over 900 seconds")
 			tl := expt.Fig7(opt)
 			r.dump(tl.Table())
 			fmt.Fprintf(r.w, "# totals: transfers=%d deferrals=%d\n", tl.TotalTransfers, tl.TotalDeferrals)
+		case "la":
+			r.header("LA", "Limited Allocation Ablation", "Ethernet submitters under stuck-holder chaos, leased vs unleased FD tenure")
+			la := expt.FigLA(opt)
+			r.dump(la.Throughput)
+			fmt.Fprintf(r.w, "# fairness: Jain's index x100, watchdog revocations, starvation excursions, longest unleased wait\n")
+			r.dump(la.Fairness)
 		}
 		// Single-discipline figures: re-run the other disciplines into
 		// the same trace so the summary compares all three on one seed.
@@ -214,8 +226,8 @@ type renderer struct {
 }
 
 // header prints a figure banner.
-func (r *renderer) header(n int, title, sub string) {
-	fmt.Fprintf(r.w, "==== Figure %d: %s ====\n", n, title)
+func (r *renderer) header(label, title, sub string) {
+	fmt.Fprintf(r.w, "==== Figure %s: %s ====\n", label, title)
 	fmt.Fprintf(r.w, "# %s\n", sub)
 	if r.chaos != "" {
 		io.WriteString(r.w, r.chaos)

@@ -64,6 +64,9 @@ type Targets struct {
 	// Buffer is the shared-filesystem substrate (capacity squeezes,
 	// fsbuffer/* sites).
 	Buffer *fsbuffer.Buffer
+	// Allocator is the space-reservation service in front of Buffer
+	// (stuck-holder hangs at fsbuffer/hold).
+	Allocator *fsbuffer.Allocator
 	// Servers are the replica servers (flap toggling, replica/* sites).
 	Servers []*replica.Server
 	// Channel is the broadcast medium (channel/* sites).
@@ -143,6 +146,28 @@ type LatencySpike struct {
 func (s LatencySpike) arm(a *Armed, t Targets) {
 	from, to := s.resolve(a, t.Window)
 	a.addWindow(s.Site, &siteWindow{from: from, to: to, delay: s.Extra, jitter: s.Jitter})
+}
+
+// StuckHolder wedges clients at a hold site with probability Prob while
+// the window is open: the victim freezes while owning a contended
+// resource — FDs, reserved buffer space, a replica's service lane — and
+// never voluntarily lets go. This is the failure mode limited
+// allocation exists for: without a lease watchdog the resource is
+// pinned until the victim's own outer timeout fires (if it ever does);
+// with one, the tenure is revoked and the units reclaimed.
+type StuckHolder struct {
+	Window
+	// Site is a hold site (condor.InjectHold, fsbuffer.InjectHold,
+	// replica.InjectHold).
+	Site string
+	// Prob is the per-operation hang probability; values >= 1 wedge
+	// every holder in the window.
+	Prob float64
+}
+
+func (s StuckHolder) arm(a *Armed, t Targets) {
+	from, to := s.resolve(a, t.Window)
+	a.addWindow(s.Site, &siteWindow{from: from, to: to, prob: s.Prob, hang: true})
 }
 
 // ---------------------------------------------------------------------
@@ -303,10 +328,11 @@ func (s ScheddCrash) arm(a *Armed, t Targets) {
 // siteWindow is one materialized fault window at one site.
 type siteWindow struct {
 	from, to time.Duration
-	prob     float64 // error probability (>= 1 always fails)
+	prob     float64 // error/hang probability (>= 1 always fires)
 	err      error   // nil for latency-only windows
 	delay    time.Duration
 	jitter   time.Duration
+	hang     bool // wedge the holder instead of erroring
 }
 
 // Armed is a plan bound to an engine and a universe. It implements
@@ -319,10 +345,12 @@ type Armed struct {
 	windows map[string][]*siteWindow
 	tr      *trace.Client
 
-	// Injected tallies, for reports: errors and delays handed out at
-	// sites, and scheduled actions (squeezes, flaps, kills) performed.
+	// Injected tallies, for reports: errors, delays, and hangs handed
+	// out at sites, and scheduled actions (squeezes, flaps, kills)
+	// performed.
 	Errors  int64
 	Delays  int64
+	Hangs   int64
 	Actions int64
 	perSite map[string]int64
 }
@@ -354,6 +382,9 @@ func (p *Plan) Arm(e *sim.Engine, t Targets) *Armed {
 	}
 	if t.Buffer != nil {
 		t.Buffer.SetInjector(a)
+	}
+	if t.Allocator != nil {
+		t.Allocator.SetInjector(a)
 	}
 	for _, srv := range t.Servers {
 		srv.SetInjector(a)
@@ -400,6 +431,11 @@ func (a *Armed) Inject(site string) core.Fault {
 			a.Errors++
 			a.perSite[site]++
 		}
+		if w.hang && (w.prob >= 1 || a.rng.Float64() < w.prob) {
+			f.Hang = true
+			a.Hangs++
+			a.perSite[site]++
+		}
 	}
 	return f
 }
@@ -410,6 +446,9 @@ func (a *Armed) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos[%s seed=%d]: %d errors, %d delays, %d actions",
 		a.plan.Name, a.plan.Seed, a.Errors, a.Delays, a.Actions)
+	if a.Hangs > 0 {
+		fmt.Fprintf(&b, ", %d hangs", a.Hangs)
+	}
 	if len(a.perSite) > 0 {
 		sites := make([]string, 0, len(a.perSite))
 		for s := range a.perSite {

@@ -132,6 +132,27 @@ func (inv *Invariants) CarrierFloor(name string, free func() int, floor func() i
 	})
 }
 
+// NoStarvation asserts the limited-allocation liveness property: no
+// live client waits longer than budget for the named resource while
+// its capacity is reclaimable. wait samples the longest want-interval
+// currently in progress (lease.Manager.LongestWait). One violation is
+// recorded per continuous starving excursion, mirroring CarrierFloor.
+func (inv *Invariants) NoStarvation(name string, wait func() time.Duration, budget time.Duration) {
+	reported := false
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		w := wait()
+		if w <= budget {
+			reported = false
+			return
+		}
+		if !reported {
+			reported = true
+			inv.violate("no-starvation", now, "%s: a client has wanted the resource for %v (budget %v)",
+				name, w, budget)
+		}
+	})
+}
+
 // Monotone asserts that a cumulative observable never decreases.
 func (inv *Invariants) Monotone(name string, value func() float64) {
 	last := value()

@@ -76,6 +76,18 @@ var presets = map[string]func(seed int64) *Plan{
 			ScheddCrash{FracAt: 0.2, FracEvery: 0.25, Count: 3},
 		}}
 	},
+	// stuck-holder: clients wedge while owning a contended resource —
+	// FDs, reserved buffer space, a replica's service lane — for most
+	// of the run. The failure regime the lease watchdog exists for;
+	// without limited allocation this starves every competitor.
+	"stuck-holder": func(seed int64) *Plan {
+		w := Window{FracStart: 0.1, FracDuration: 0.6, FracStartJitter: 0.2}
+		return &Plan{Name: "stuck-holder", Seed: seed, Specs: []Spec{
+			StuckHolder{Window: w, Site: condor.InjectHold, Prob: 0.08},
+			StuckHolder{Window: w, Site: fsbuffer.InjectHold, Prob: 0.08},
+			StuckHolder{Window: w, Site: replica.InjectHold, Prob: 0.08},
+		}}
+	},
 	// mixed: a lighter dose of everything at once.
 	"mixed": func(seed int64) *Plan {
 		p := &Plan{Name: "mixed", Seed: seed, Specs: []Spec{

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lease"
 	"repro/internal/sim"
 )
 
@@ -69,6 +70,11 @@ type Config struct {
 	HousekeepFDs int
 	// HousekeepInterval is the cadence of that background work.
 	HousekeepInterval time.Duration
+	// LeaseQuantum bounds how long a submission may pin descriptors
+	// before renewing: the limited-allocation discipline. Zero (the
+	// default, and the paper's figures 1–3) means unlimited tenure —
+	// holds are never revoked.
+	LeaseQuantum time.Duration
 }
 
 // DefaultConfig returns the parameters used for the paper figures.
@@ -142,54 +148,75 @@ func (c *Config) fillDefaults() {
 // FDTable is a bounded pool of file descriptors shared by every process
 // on the submit machine. Acquisition never queues: a process that cannot
 // get FDs fails immediately, exactly like open(2) returning EMFILE.
+// Tenure flows through an internal lease.Manager, so holds can be
+// time-bounded (see Config.LeaseQuantum) and per-client fairness is
+// accounted centrally.
 type FDTable struct {
-	capacity int
-	inUse    int
-	// Failures counts allocation failures, a collision indicator.
-	Failures int64
+	m *lease.Manager
 }
 
-// NewFDTable returns a table with the given capacity.
-func NewFDTable(capacity int) *FDTable { return &FDTable{capacity: capacity} }
+// NewFDTable returns an engine-free table with the given capacity and
+// unlimited tenure, for unit tests and raw accounting.
+func NewFDTable(capacity int) *FDTable {
+	return &FDTable{m: lease.New(nil, "fds", int64(capacity), 0)}
+}
+
+// NewLeasedFDTable returns a table on engine e whose holds are leases
+// with the given tenure quantum (0 = unlimited, the legacy behavior).
+func NewLeasedFDTable(e *sim.Engine, capacity int, quantum time.Duration) *FDTable {
+	return &FDTable{m: lease.New(e, "fds", int64(capacity), quantum)}
+}
 
 // SetCapacity retunes the table size at runtime (an administrator
 // shrinking fs.file-max, or a fault plan squeezing the resource).
 // Shrinking below InUse is allowed: Free goes negative and every new
 // allocation fails until holders release, exactly like the real sysctl.
-func (t *FDTable) SetCapacity(n int) {
-	if n < 0 {
-		n = 0
-	}
-	t.capacity = n
-}
+func (t *FDTable) SetCapacity(n int) { t.m.SetCapacity(int64(n)) }
 
 // Free reports available descriptors — the observable used by the
 // Ethernet submitter's carrier sense (/proc/sys/fs/file-nr).
-func (t *FDTable) Free() int { return t.capacity - t.inUse }
+func (t *FDTable) Free() int { return int(t.m.Free()) }
 
 // InUse reports descriptors currently held.
-func (t *FDTable) InUse() int { return t.inUse }
+func (t *FDTable) InUse() int { return int(t.m.InUse()) }
 
 // Capacity reports the table size.
-func (t *FDTable) Capacity() int { return t.capacity }
+func (t *FDTable) Capacity() int { return int(t.m.Capacity()) }
 
-// TryAcquire takes n descriptors, reporting success.
-func (t *FDTable) TryAcquire(n int) bool {
-	if t.inUse+n > t.capacity {
-		t.Failures++
-		return false
-	}
-	t.inUse += n
-	return true
-}
+// Failures counts allocation failures, a collision indicator.
+func (t *FDTable) Failures() int64 { return t.m.Rejects }
 
-// Release returns n descriptors.
+// TryAcquire takes n descriptors without a lease, reporting success.
+// Callers of this raw path manage tenure themselves; Lease is the
+// bounded-tenure entry point.
+func (t *FDTable) TryAcquire(n int) bool { return t.m.TryTake(int64(n)) }
+
+// Release returns n descriptors taken with TryAcquire.
 func (t *FDTable) Release(n int) {
-	t.inUse -= n
-	if t.inUse < 0 {
+	if int64(n) > t.m.InUse() {
 		panic("condor: FD table underflow")
 	}
+	t.m.Put(int64(n))
 }
+
+// Lease takes n descriptors as a lease held by holder, reporting
+// success. Like TryAcquire it never queues — an EMFILE-style immediate
+// failure — but a grant is tenure-bounded by the table's quantum.
+func (t *FDTable) Lease(p *sim.Proc, ctx context.Context, holder string, n int) (*lease.Lease, bool) {
+	return t.m.TryAcquire(p, ctx, holder, int64(n))
+}
+
+// NoteWant records that holder wants descriptors it could not get
+// (e.g. its carrier sense came back busy); the starvation clock runs
+// until the holder's next grant.
+func (t *FDTable) NoteWant(holder string) { t.m.NoteWant(holder) }
+
+// LongestWait reports the longest want-to-grant wait currently in
+// progress — the no-starvation invariant's observable.
+func (t *FDTable) LongestWait() time.Duration { return t.m.LongestWait() }
+
+// Manager exposes the underlying lease manager for fairness accounting.
+func (t *FDTable) Manager() *lease.Manager { return t.m }
 
 // Injection sites consulted by this substrate (see core.Injector).
 const (
@@ -201,6 +228,10 @@ const (
 	// resets the connection mid-transfer, an injected delay slows the
 	// service.
 	InjectService = "condor/service"
+	// InjectHold covers the window where a client pins descriptors: an
+	// injected Hang turns the client into a black hole while holding,
+	// the stuck-holder failure mode the lease watchdog exists for.
+	InjectHold = "condor/hold"
 )
 
 // Errors distinguishing submission failure modes; all are collisions in
@@ -245,7 +276,7 @@ type Cluster struct {
 // NewCluster builds the scenario substrate on engine e.
 func NewCluster(e *sim.Engine, cfg Config) *Cluster {
 	cfg.fillDefaults()
-	fds := NewFDTable(cfg.FDCapacity)
+	fds := NewLeasedFDTable(e, cfg.FDCapacity, cfg.LeaseQuantum)
 	s := &Schedd{
 		eng:   e,
 		cfg:   cfg,
@@ -298,6 +329,7 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	outer := ctx
 	tr := p.Tracer()
 	// Chaos seam: a fault plan may slow or refuse the connection here,
 	// upstream of the organic failure modes below.
@@ -325,54 +357,60 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 		want += int(p.Rand() * float64(s.cfg.ClientFDJitter+1))
 	}
 	first := want / 2
-	if !s.fds.TryAcquire(first) {
+	l1, ok := s.fds.Lease(p, ctx, p.Name(), first)
+	if !ok {
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
 			return err
 		}
 		return core.Collision("fds", ErrNoFDs)
 	}
-	tr.Acquire("fds", int64(first))
-	defer func() {
-		s.fds.Release(first)
-		tr.Release("fds", int64(first))
-	}()
+	defer l1.Release()
+	// Work under the lease context from here on: when the watchdog
+	// revokes a hold, everything downstream unwinds. With an unlimited
+	// quantum Ctx() is the caller's context and nothing changes.
+	ctx = l1.Ctx()
 	if err := p.Sleep(ctx, s.cfg.SetupTime); err != nil {
-		return err
+		return s.submitErr(outer, l1)
 	}
 	rest := want - first
-	if !s.fds.TryAcquire(rest) {
+	l2, ok := s.fds.Lease(p, ctx, p.Name(), rest)
+	if !ok {
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
-			return err
+			return s.submitErr(outer, l1)
 		}
 		return core.Collision("fds", ErrNoFDs)
 	}
-	tr.Acquire("fds", int64(rest))
-	defer func() {
-		s.fds.Release(rest)
-		tr.Release("fds", int64(rest))
-	}()
+	defer l2.Release()
+	ctx = l2.Ctx()
+
+	// Chaos seam: a stuck-holder plan turns this client into a black
+	// hole while it pins its descriptors. Only the lease watchdog (or
+	// the caller's own deadline) gets things moving again.
+	if f := core.InjectAt(s.inj, InjectHold); f.Hang {
+		tr.FaultInjected(InjectHold)
+		_ = p.Hang(ctx)
+		return s.submitErr(outer, l1, l2)
+	}
 
 	if s.down {
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
-			return err
+			return s.submitErr(outer, l1, l2)
 		}
 		return core.Collision("schedd", ErrScheddDown)
 	}
 
 	// The schedd accepts the connection, pinning its own descriptors.
 	// Failure to do so kills the schedd (broadcast jam).
-	if !s.fds.TryAcquire(s.cfg.ScheddFDs) {
+	l3, ok := s.fds.Lease(p, ctx, "schedd", s.cfg.ScheddFDs)
+	if !ok {
 		s.crash()
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
-			return err
+			return s.submitErr(outer, l1, l2)
 		}
 		return core.Collision("schedd", ErrScheddCrashed)
 	}
-	tr.Acquire("fds", int64(s.cfg.ScheddFDs))
-	defer func() {
-		s.fds.Release(s.cfg.ScheddFDs)
-		tr.Release("fds", int64(s.cfg.ScheddFDs))
-	}()
+	defer l3.Release()
+	ctx = l3.Ctx()
 
 	// Register for the crash broadcast.
 	connCtx, cancel := s.eng.WithCancel(ctx)
@@ -384,13 +422,18 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 
 	// Queue for a service slot, then transfer the job.
 	if err := s.slots.Acquire(p, connCtx); err != nil {
-		return s.submitErr(ctx, err)
+		return s.submitErr(outer, l1, l2, l3)
 	}
 	tr.Acquire("slot", 1)
 	defer func() {
 		s.slots.Release()
 		tr.Release("slot", 1)
 	}()
+	// Connected and in service: the holds are now doing useful work,
+	// so renew their tenure for the transfer.
+	l1.Renew()
+	l2.Renew()
+	l3.Renew()
 	// Service slows as more clients are connected: the CPU, memory, and
 	// disk of the submit machine are themselves shared resources.
 	d := time.Duration(float64(s.cfg.ServiceTime) * (1 + s.cfg.CPULoad*float64(len(s.conns))))
@@ -402,23 +445,30 @@ func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
 		d += f.Delay
 		if f.Err != nil {
 			if err := p.Sleep(connCtx, d); err != nil {
-				return s.submitErr(ctx, err)
+				return s.submitErr(outer, l1, l2, l3)
 			}
 			return core.Collision("schedd", f.Err)
 		}
 	}
 	if err := p.Sleep(connCtx, d); err != nil {
-		return s.submitErr(ctx, err)
+		return s.submitErr(outer, l1, l2, l3)
 	}
 	s.Jobs++
 	return nil
 }
 
 // submitErr classifies an aborted submission: if the caller's own
-// context died, propagate; otherwise the schedd crashed underneath us.
-func (s *Schedd) submitErr(ctx context.Context, err error) error {
-	if ctx.Err() != nil {
-		return ctx.Err()
+// context died, propagate; if a lease was revoked out from under the
+// client, that is a collision on the tenure discipline itself;
+// otherwise the schedd crashed underneath us.
+func (s *Schedd) submitErr(ctx context.Context, leases ...*lease.Lease) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, l := range leases {
+		if l.Revoked() {
+			return core.Collision("lease", lease.ErrRevoked)
+		}
 	}
 	return core.Collision("schedd", ErrScheddCrashed)
 }

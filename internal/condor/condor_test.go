@@ -18,8 +18,8 @@ func TestFDTable(t *testing.T) {
 	if tb.TryAcquire(1) {
 		t.Fatal("acquire over capacity succeeded")
 	}
-	if tb.Failures != 1 {
-		t.Fatalf("Failures = %d", tb.Failures)
+	if tb.Failures() != 1 {
+		t.Fatalf("Failures = %d", tb.Failures())
 	}
 	tb.Release(40)
 	if tb.Free() != 40 {
@@ -204,7 +204,7 @@ func TestEthernetSubmitterDefersUnderFDPressure(t *testing.T) {
 	if sub.Submitted == 0 {
 		t.Fatal("never submitted after pressure lifted")
 	}
-	if f := cl.FDs.Failures; f != 0 {
+	if f := cl.FDs.Failures(); f != 0 {
 		t.Fatalf("Ethernet client caused %d FD allocation failures", f)
 	}
 }

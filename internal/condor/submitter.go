@@ -27,6 +27,11 @@ type SubmitterConfig struct {
 	Observer core.Observer
 	// Trace, when non-nil, records this submitter's attempt timeline.
 	Trace *trace.Client
+	// Backoff optionally overrides the paper-default backoff. Sharing
+	// one template across submitters is safe: Try clones it per
+	// invocation. Capping it near the lease quantum keeps a deferred
+	// client's retry cadence inside the reclamation cycle.
+	Backoff *core.Backoff
 }
 
 // DefaultSubmitterConfig mirrors the paper's scripts.
@@ -51,15 +56,25 @@ type Submitter struct {
 // jobs, each wrapped in a try with the configured discipline.
 func (sub *Submitter) Loop(p *sim.Proc, ctx context.Context, cl *Cluster, cfg SubmitterConfig) {
 	p.SetTracer(cfg.Trace)
+	sense := core.ThresholdSense("file-nr", cl.FDs.Free, cfg.Threshold)
 	client := &core.Client{
 		Rt:         p,
 		Discipline: cfg.Discipline,
 		Limit:      core.For(cfg.TryLimit),
-		Sense:      core.ThresholdSense("file-nr", cl.FDs.Free, cfg.Threshold),
-		Observer:   cfg.Observer,
-		Trace:      cfg.Trace,
-		Site:       "fds",
-		Span:       "submit",
+		Sense: func(ctx context.Context) error {
+			err := sense(ctx)
+			if err != nil {
+				// A busy carrier means this client wants descriptors it
+				// cannot get: start (or continue) its starvation clock.
+				cl.FDs.NoteWant(p.Name())
+			}
+			return err
+		},
+		Backoff:  cfg.Backoff,
+		Observer: cfg.Observer,
+		Trace:    cfg.Trace,
+		Site:     "fds",
+		Span:     "submit",
 	}
 	for ctx.Err() == nil {
 		err := client.Do(ctx, func(ctx context.Context) error {

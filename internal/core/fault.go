@@ -31,10 +31,15 @@ type Fault struct {
 	// Err, when non-nil, aborts the operation. Substrates surface it
 	// through their existing failure paths, typically as a collision.
 	Err error
+	// Hang, when true, turns the operation into a black hole at its
+	// hold site: the holder parks on its context and never proceeds on
+	// its own. Only the lease watchdog (or the caller's own deadline)
+	// gets it moving again — the stuck-holder failure mode.
+	Hang bool
 }
 
 // Zero reports whether the fault changes nothing.
-func (f Fault) Zero() bool { return f.Delay == 0 && f.Err == nil }
+func (f Fault) Zero() bool { return f.Delay == 0 && f.Err == nil && !f.Hang }
 
 // Injector decides the fate of operations at named sites. Site names
 // are constants exported by each substrate (condor.InjectConnect,

@@ -144,6 +144,12 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 	if bo == nil {
 		bo = NewBackoff(rt.Rand)
 	} else {
+		// Clone the caller's backoff: a TryConfig may be shared across
+		// concurrent Trys (each submitter gets the same template), and
+		// mutating the shared Backoff's cursor or Rand field here would
+		// be a data race.
+		c := *bo
+		bo = &c
 		bo.Reset()
 		if bo.Rand == nil {
 			bo.Rand = rt.Rand

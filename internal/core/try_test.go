@@ -496,6 +496,71 @@ func TestForallNAbortSkipsQueuedBranches(t *testing.T) {
 	})
 }
 
+func TestForallNQueuedBranchReturnsPromptlyAfterAbort(t *testing.T) {
+	// With one slot, the queued branch waits behind a sibling that fails
+	// after 1s of virtual time. The abort must both skip the queued body
+	// and resolve its slot immediately — the forall returns at the
+	// sibling's failure, not after any further delay.
+	e := runSim(t, 1, func(p *sim.Proc, ctx context.Context) {
+		ran := false
+		err := core.ForallN(ctx, p, 1, []string{"fail", "queued"}, func(ctx context.Context, rt core.Runtime, item string) error {
+			if item == "queued" {
+				ran = true
+				return rt.Sleep(ctx, time.Hour)
+			}
+			_ = rt.Sleep(ctx, time.Second)
+			return core.ErrFailure
+		})
+		var be *core.BranchError
+		if !errors.As(err, &be) {
+			t.Errorf("err = %v, want BranchError", err)
+			return
+		}
+		if ran {
+			t.Error("queued branch body ran after its sibling aborted the forall")
+		}
+		if !errors.Is(be.Errs[1], context.Canceled) {
+			t.Errorf("queued branch err = %v, want Canceled", be.Errs[1])
+		}
+	})
+	if e.Elapsed() != time.Second {
+		t.Fatalf("elapsed %v, want exactly the failing sibling's 1s", e.Elapsed())
+	}
+}
+
+func TestTrySharedBackoffTemplateIsNotMutated(t *testing.T) {
+	// A TryConfig is a template: every submitter in an experiment shares
+	// one literally, so Try must clone cfg.Backoff instead of advancing
+	// the shared cursor (or writing its Rand field). Under -race the
+	// in-place mutation this guards against is a reported data race; in
+	// any mode the template must come out untouched.
+	rt := core.NewReal(1)
+	bo := &core.Backoff{Base: time.Microsecond, Cap: 8 * time.Microsecond, Factor: 2, RandMin: 1, RandMax: 2}
+	cfg := core.TryConfig{Backoff: bo}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			calls := 0
+			_ = core.Try(context.Background(), rt, core.Times(6), cfg, func(ctx context.Context) error {
+				calls++
+				if calls < 6 {
+					return core.ErrFailure
+				}
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := bo.Attempts(); got != 0 {
+		t.Fatalf("shared template advanced %d times; Try must clone it", got)
+	}
+	if bo.Rand != nil {
+		t.Fatal("Try wrote a Rand source into the shared template")
+	}
+}
+
 func TestRealParallelLimit(t *testing.T) {
 	rt := core.NewReal(1)
 	var mu sync.Mutex

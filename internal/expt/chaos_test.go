@@ -26,6 +26,13 @@ func chaosPlans(t *testing.T, seeds ...int64) []*chaos.Plan {
 	t.Helper()
 	var plans []*chaos.Plan
 	for _, name := range chaos.Names() {
+		if name == "stuck-holder" {
+			// Covered by the dedicated lease-ablation sweep (lease_test.go):
+			// against unleased legacy cells a wedged holder pins the
+			// resource by design, which is the point of that sweep, not a
+			// regression in the discipline ordering measured here.
+			continue
+		}
 		for _, s := range seeds {
 			p, err := chaos.Preset(name, s)
 			if err != nil {

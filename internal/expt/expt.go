@@ -544,23 +544,24 @@ func Fig7(opt Options) *ReaderTimeline { return runReaderTimeline(opt, core.Ethe
 // head-to-head. Figures that already sweep every discipline (1, 4, 5)
 // need no companions. Companion runs skip the invariant suite: its
 // expectations are calibrated to the figure's own discipline.
-func TraceCompanions(opt Options, fig int) {
+func TraceCompanions(opt Options, fig string) {
 	if opt.Trace == nil {
 		return
 	}
 	opt.Check = nil
 	switch fig {
-	case 2: // Aloha timeline: add Ethernet and Fixed
+	case "2": // Aloha timeline: add Ethernet and Fixed
 		_ = runSubmitTimeline(opt, core.Ethernet)
 		_ = runSubmitTimeline(opt, core.Fixed)
-	case 3: // Ethernet timeline: add Aloha and Fixed
+	case "3": // Ethernet timeline: add Aloha and Fixed
 		_ = runSubmitTimeline(opt, core.Aloha)
 		_ = runSubmitTimeline(opt, core.Fixed)
-	case 6: // Aloha reader: add Ethernet and Fixed
+	case "6": // Aloha reader: add Ethernet and Fixed
 		_ = runReaderTimeline(opt, core.Ethernet)
 		_ = runReaderTimeline(opt, core.Fixed)
-	case 7: // Ethernet reader: add Aloha and Fixed
+	case "7": // Ethernet reader: add Aloha and Fixed
 		_ = runReaderTimeline(opt, core.Aloha)
 		_ = runReaderTimeline(opt, core.Fixed)
 	}
+	// Figure "la" runs both of its arms itself; no companions needed.
 }

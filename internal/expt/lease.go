@@ -1,0 +1,209 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// Limited-allocation ablation (figure "la")
+// ---------------------------------------------------------------------
+//
+// The paper's fourth Ethernet principle asks holders of a limited
+// resource to release it periodically so competitors are not starved.
+// This figure makes that principle load-bearing: the same Ethernet
+// submitter population runs twice under a stuck-holder fault plan —
+// once with leased FD tenure (the watchdog revokes wedged holders
+// after a quantum) and once with the legacy unlimited allocation — and
+// we measure what discipline alone cannot save: throughput, Jain's
+// fairness index over per-client submissions, and how long the
+// hungriest client went without the resource.
+
+// LeaseSweep is the submitter counts swept in the ablation.
+var LeaseSweep = []int{50, 100, 200, 400}
+
+// LeaseCellResult is one ablation cell's accounting.
+type LeaseCellResult struct {
+	// Jobs is total jobs submitted; PerClient the per-submitter split.
+	Jobs      int64
+	PerClient []float64
+	// Jain is Jain's fairness index over PerClient.
+	Jain float64
+	// Revokes counts FD tenures the lease watchdog reclaimed.
+	Revokes int64
+	// Starved counts no-starvation invariant violations: excursions
+	// where some live client wanted FDs for more than the budget.
+	Starved int
+	// MaxWait is the longest any client went wanting FDs.
+	MaxWait time.Duration
+	// Crashes counts schedd crashes during the run.
+	Crashes int64
+}
+
+// leaseQuantum derives the tenure quantum from the experiment window:
+// a tenth of the window, the same knob at every scale.
+func leaseQuantum(window time.Duration) time.Duration { return window / 10 }
+
+// leaseBudget is the no-starvation budget: a stuck holder costs at
+// most one quantum before revocation, so K=4 quanta of continuous
+// wanting means reclamation is not working.
+func leaseBudget(window time.Duration) time.Duration { return 4 * leaseQuantum(window) }
+
+// LeaseCell runs n Ethernet submitters against a cluster whose FD
+// table grants tenure with the given quantum (0 = the unleased legacy
+// ablation) for the window, optionally under a fault plan. Violations
+// are counted into the result's Starved; when rec is non-nil they are
+// also forwarded to it, so an acceptance suite can demand a clean run.
+func LeaseCell(opt Options, seed int64, n int, window, quantum time.Duration, plan *chaos.Plan, rec *chaos.Recorder) *LeaseCellResult {
+	e := sim.New(seed)
+	cl := condor.NewCluster(e, condor.Config{
+		// Capacity comfortably fits the live steady-state load (~35%
+		// duty cycle × 18 FDs each ≈ 6n, with the 3s think time below)
+		// but not that load plus a population of wedged holders pinning
+		// 15 FDs each: stuck holders, not honest congestion, are what
+		// exhausts the table.
+		FDCapacity:   12 * n,
+		ServiceSlots: n,
+		LeaseQuantum: quantum,
+	})
+	ctx, cancel := e.WithTimeout(e.Context(), window)
+	defer cancel()
+	cl.StartHousekeeping(ctx)
+	if plan != nil {
+		plan.Arm(e, chaos.Targets{Window: window, Cluster: cl, Trace: opt.Trace})
+	}
+	// Starvation is detected locally even for the ablation cell, whose
+	// violations are the expected result, not an experiment failure.
+	priv := &chaos.Recorder{}
+	inv := chaos.NewInvariants(e, priv, 0)
+	inv.Monotone("jobs", func() float64 { return float64(cl.Schedd.Jobs) })
+	inv.Horizon(window)
+	inv.NoStarvation("fds", cl.FDs.LongestWait, leaseBudget(window))
+	inv.Start(ctx)
+
+	label := "ethernet-leased"
+	if quantum <= 0 {
+		label = "ethernet-unleased"
+	}
+	subs := make([]*condor.Submitter, n)
+	for i := 0; i < n; i++ {
+		subs[i] = &condor.Submitter{}
+		sub := subs[i]
+		cfg := condor.SubmitterConfig{
+			Discipline: core.Ethernet,
+			// One work unit spans the whole window: a wedged unleased
+			// holder pins its FDs until the run ends, which is exactly
+			// the failure mode under test.
+			TryLimit:  window,
+			Threshold: 4 * n,
+			ThinkTime: 3 * time.Second,
+			// Cap the backoff at half a quantum in both cells so a
+			// deferred client re-senses within the reclamation cycle
+			// instead of sleeping through the grant it was waiting for;
+			// the cap must not differ between cells or it would
+			// confound the ablation.
+			Backoff: &core.Backoff{Base: time.Second, Cap: leaseQuantum(window) / 2, Factor: 2, RandMin: 1, RandMax: 2},
+		}
+		if opt.Trace != nil {
+			cfg.Trace = opt.Trace.NewClient(label, fmt.Sprintf("submitter-%d", i), e.Elapsed)
+		}
+		// Unique process names: the lease ledger keys holders by name.
+		e.Spawn(fmt.Sprintf("submitter-%d", i), func(p *sim.Proc) {
+			sub.Loop(p, ctx, cl, cfg)
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic("expt: " + err.Error())
+	}
+	inv.Finish()
+
+	res := &LeaseCellResult{
+		Jobs:      cl.Schedd.Jobs,
+		PerClient: make([]float64, n),
+		Revokes:   cl.FDs.Manager().Revokes,
+		MaxWait:   cl.FDs.Manager().MaxStarvation(),
+		Crashes:   cl.Schedd.Crashes,
+	}
+	for i, sub := range subs {
+		res.PerClient[i] = float64(sub.Submitted)
+	}
+	res.Jain = metrics.JainIndex(res.PerClient)
+	for _, v := range priv.Violations {
+		if v.Check == "no-starvation" {
+			res.Starved++
+		}
+		if rec != nil {
+			rec.Add(v)
+		}
+	}
+	return res
+}
+
+// LeaseAblation holds the figure's two tables.
+type LeaseAblation struct {
+	// Throughput: jobs submitted, leased vs unleased.
+	Throughput *metrics.SweepTable
+	// Fairness: Jain's index (×100), watchdog revocations, starvation
+	// excursions, and the hungriest client's wait in seconds.
+	Fairness *metrics.SweepTable
+}
+
+// FigLA runs the limited-allocation ablation: each population size in
+// LeaseSweep runs leased and unleased under the stuck-holder plan
+// (opt.Chaos overrides it). Invariant violations from the leased cells
+// go to opt.Check — the leased universe must stay starvation-free;
+// the unleased cells' violations are the measurement, not a failure.
+//
+// Unlike the paper figures, the sweep population is not scaled down
+// and the window is floored at two minutes: starvation statistics on
+// a handful of clients over a few seconds are noise (one wedged
+// client is 20% of a 5-client population), so opt.Scale only shortens
+// the window, never below where the quantum cycle is meaningful.
+func FigLA(opt Options) *LeaseAblation {
+	window := opt.scaleD(SubmitWindow)
+	if window < 2*time.Minute {
+		window = 2 * time.Minute
+	}
+	quantum := leaseQuantum(window)
+	xs := append([]int(nil), LeaseSweep...)
+	la := &LeaseAblation{
+		Throughput: &metrics.SweepTable{XLabel: "submitters", Xs: xs},
+		Fairness:   &metrics.SweepTable{XLabel: "submitters", Xs: xs},
+	}
+	cols := struct {
+		jobsL, jobsU, jainL, jainU, revokes, starved, wait metrics.SweepCol
+	}{
+		jobsL:   metrics.SweepCol{Name: "leased"},
+		jobsU:   metrics.SweepCol{Name: "unleased"},
+		jainL:   metrics.SweepCol{Name: "jain-leased"},
+		jainU:   metrics.SweepCol{Name: "jain-unleased"},
+		revokes: metrics.SweepCol{Name: "revokes"},
+		starved: metrics.SweepCol{Name: "starved"},
+		wait:    metrics.SweepCol{Name: "wait-unleased"},
+	}
+	for i, n := range xs {
+		seed := opt.seed() + int64(i)
+		plan := opt.Chaos
+		if plan == nil {
+			plan, _ = chaos.Preset("stuck-holder", seed)
+		}
+		leased := LeaseCell(opt, seed, n, window, quantum, plan, opt.Check)
+		unleased := LeaseCell(opt, seed, n, window, 0, plan, nil)
+		cols.jobsL.Vals = append(cols.jobsL.Vals, float64(leased.Jobs))
+		cols.jobsU.Vals = append(cols.jobsU.Vals, float64(unleased.Jobs))
+		cols.jainL.Vals = append(cols.jainL.Vals, 100*leased.Jain)
+		cols.jainU.Vals = append(cols.jainU.Vals, 100*unleased.Jain)
+		cols.revokes.Vals = append(cols.revokes.Vals, float64(leased.Revokes))
+		cols.starved.Vals = append(cols.starved.Vals, float64(unleased.Starved))
+		cols.wait.Vals = append(cols.wait.Vals, unleased.MaxWait.Seconds())
+	}
+	la.Throughput.Cols = []metrics.SweepCol{cols.jobsL, cols.jobsU}
+	la.Fairness.Cols = []metrics.SweepCol{cols.jainL, cols.jainU, cols.revokes, cols.starved, cols.wait}
+	return la
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lease"
 	"repro/internal/sim"
 )
 
@@ -29,12 +30,22 @@ import (
 // ErrReservationDenied reports that the allocator had no space.
 var ErrReservationDenied = errors.New("allocation denied: no reservable space")
 
+// InjectHold is the injection site covering the window where a client
+// holds granted-but-unwritten space: an injected Hang wedges the
+// client after its grant, promised space pinned forever — unless the
+// lease watchdog reclaims it.
+const InjectHold = "fsbuffer/hold"
+
 // Allocator is a NeST/SRM-style space reservation service in front of a
 // Buffer. Reservations are bookkeeping only; the underlying buffer is
 // unchanged, so reserving and non-reserving producers can be mixed.
+// Granted space is held as a lease, so a tenure quantum (see
+// SetLeaseQuantum) bounds how long a client may sit on a promise
+// without writing.
 type Allocator struct {
-	buf      *Buffer
-	reserved int64
+	buf    *Buffer
+	tenure *lease.Manager
+	inj    core.Injector
 	// GrantTime models the allocation round trip; the allocation
 	// service is itself a shared resource and serializes requests.
 	GrantTime time.Duration
@@ -51,17 +62,56 @@ func NewAllocator(e *sim.Engine, buf *Buffer, grantTime time.Duration) *Allocato
 	}
 	return &Allocator{
 		buf:       buf,
+		tenure:    lease.New(e, "reservation", buf.Free(), 0),
 		GrantTime: grantTime,
 		lane:      sim.NewResource(e, "allocator", 1),
 	}
 }
 
+// SetLeaseQuantum bounds reservation tenure: a client that holds
+// promised space longer than d without renewing (writing renews on
+// completion by ending the reservation) is revoked and the space
+// reclaimed. Zero (the default) restores unlimited tenure.
+func (a *Allocator) SetLeaseQuantum(d time.Duration) { a.tenure.SetQuantum(d) }
+
+// SetInjector installs a fault injector consulted at the allocator's
+// hold site. A nil injector (the default) disables injection.
+func (a *Allocator) SetInjector(inj core.Injector) { a.inj = inj }
+
 // Reserved reports bytes currently promised to clients.
-func (a *Allocator) Reserved() int64 { return a.reserved }
+func (a *Allocator) Reserved() int64 { return a.tenure.InUse() }
+
+// Revokes reports reservations forcibly reclaimed by the watchdog.
+func (a *Allocator) Revokes() int64 { return a.tenure.Revokes }
+
+// Tenure exposes the underlying lease manager for fairness accounting.
+func (a *Allocator) Tenure() *lease.Manager { return a.tenure }
 
 // Reserve requests size bytes, waiting in the allocator's queue. On
 // success the caller owns the reservation and must End it.
 func (a *Allocator) Reserve(p *sim.Proc, ctx context.Context, size int64) (*Reservation, error) {
+	res, err := a.reserve(p, ctx, size)
+	if err != nil {
+		return nil, err
+	}
+	// Chaos seam: a stuck-holder plan wedges the client right after its
+	// grant — space promised, nothing ever written. Only the caller's
+	// own deadline or the lease watchdog frees the promise again.
+	if f := core.InjectAt(a.inj, InjectHold); f.Hang {
+		p.Tracer().FaultInjected(InjectHold)
+		_ = p.Hang(res.Ctx())
+		if cerr := ctx.Err(); cerr != nil {
+			res.End()
+			return nil, cerr
+		}
+		return nil, core.Collision("reservation", lease.ErrRevoked)
+	}
+	return res, nil
+}
+
+// reserve is the admission path: serialize on the allocation service,
+// pay the round trip, then grant tenure on the promised bytes.
+func (a *Allocator) reserve(p *sim.Proc, ctx context.Context, size int64) (*Reservation, error) {
 	if err := a.lane.Acquire(p, ctx); err != nil {
 		return nil, err
 	}
@@ -71,43 +121,42 @@ func (a *Allocator) Reserve(p *sim.Proc, ctx context.Context, size int64) (*Rese
 	}
 	// Grant only space not already promised: reservations must never
 	// overcommit, or they would be no better than optimistic writing.
-	if a.buf.Free()-a.reserved < size {
+	if a.buf.Free()-a.Reserved() < size {
 		a.Denials++
-		return nil, fmt.Errorf("%w (want %d, unreserved free %d)", ErrReservationDenied, size, a.buf.Free()-a.reserved)
+		return nil, fmt.Errorf("%w (want %d, unreserved free %d)", ErrReservationDenied, size, a.buf.Free()-a.Reserved())
 	}
-	a.reserved += size
 	a.Grants++
-	return &Reservation{alloc: a, size: size}, nil
+	return &Reservation{l: a.tenure.Grant(p, ctx, p.Name(), size)}, nil
 }
 
-// Reservation is a granted slice of future buffer space.
+// Reservation is a granted slice of future buffer space, held as a
+// lease.
 type Reservation struct {
-	alloc *Allocator
-	size  int64
-	ended bool
+	l *lease.Lease
 }
 
 // Size reports the reserved byte count.
-func (r *Reservation) Size() int64 { return r.size }
+func (r *Reservation) Size() int64 { return r.l.Units() }
+
+// Ctx returns the reservation's tenure context: canceled if the
+// tenure is revoked. It is a child of the context Reserve was called
+// with, so it is only meaningful while that context lives.
+func (r *Reservation) Ctx() context.Context { return r.l.Ctx() }
+
+// Revoked reports whether the watchdog reclaimed this reservation.
+func (r *Reservation) Revoked() bool { return r.l.Revoked() }
 
 // End releases the reservation (after the write completed or failed).
-func (r *Reservation) End() {
-	if r.ended {
-		return
-	}
-	r.ended = true
-	r.alloc.reserved -= r.size
-	if r.alloc.reserved < 0 {
-		panic("fsbuffer: reservation underflow")
-	}
-}
+// Ending a revoked or already-ended reservation is a no-op.
+func (r *Reservation) End() { r.l.Release() }
 
 // ReservingProducer is the baseline client: reserve worst-case space,
 // then write without fear of ENOSPC.
 type ReservingProducer struct {
 	// Wrote counts completed files; Denied counts files dropped because
-	// the allocator had no space within the retry budget.
-	Wrote, Denied int64
+	// the allocator had no space within the retry budget; Revoked
+	// counts reservations the lease watchdog reclaimed mid-write.
+	Wrote, Denied, Revoked int64
 }
 
 // Loop produces files until ctx is canceled. Each file first obtains a
@@ -138,6 +187,12 @@ func (rp *ReservingProducer) Loop(p *sim.Proc, ctx context.Context, a *Allocator
 			rp.Denied++
 		} else {
 			werr := a.buf.Write(p, ctx, name, size)
+			if res.Revoked() {
+				// The watchdog reclaimed the promise mid-write: the
+				// write itself carried on optimistically, but the
+				// space guarantee was gone.
+				rp.Revoked++
+			}
 			res.End()
 			if werr == nil {
 				rp.Wrote++

@@ -1,0 +1,452 @@
+// Package lease implements limited allocation as a first-class tenure
+// discipline: time- and quantity-bounded holds on a shared resource,
+// measured on the simulator's virtual clock.
+//
+// The paper's fourth Ethernet principle — release periodically so
+// competitors are not starved — is enforced here rather than left to
+// each caller's good manners. Manager.Acquire returns a Lease with a
+// deadline; the holder must Renew or Release before the quantum runs
+// out, or an expiry watchdog forcibly revokes the tenure: the lease
+// context is canceled (waking a holder stuck mid-operation) and the
+// units are reclaimed for the next waiter. A quantum of zero disables
+// the watchdog entirely and degenerates to a plain counting semaphore,
+// so legacy unlimited-allocation behavior is a configuration, not a
+// separate code path.
+//
+// The Manager also keeps per-client fairness accounting (grants,
+// rejects, revocations, and the longest interval each client spent
+// wanting the resource without holding it), which the experiment layer
+// folds into Jain's fairness index and the no-starvation invariant.
+package lease
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ErrRevoked reports that a lease's tenure expired and was forcibly
+// reclaimed by the expiry watchdog.
+var ErrRevoked = errors.New("lease revoked: tenure expired")
+
+// Manager is a FIFO counting semaphore whose grants are leases. All
+// methods must run under the engine token (from processes or timer
+// callbacks); with a nil engine the manager still works as a plain
+// counter (no parking, no watchdogs), which the condor FD table uses
+// in engine-free unit tests.
+type Manager struct {
+	eng      *sim.Engine
+	name     string
+	quantum  time.Duration
+	capacity int64
+	inUse    int64
+	waiters  []*waiter
+
+	// Stats, readable at any point under the engine token.
+	Acquires int64 // granted tenures (leased or raw)
+	Rejects  int64 // TryAcquire/TryTake failures
+	Timeouts int64 // waiters abandoned by cancellation
+	Revokes  int64 // tenures forcibly reclaimed by the watchdog
+
+	clients map[string]*ClientStats
+	order   []string
+}
+
+// ClientStats is the per-holder fairness ledger.
+type ClientStats struct {
+	Holder  string
+	Grants  int64
+	Rejects int64
+	Revokes int64
+	// MaxWait is the longest completed interval the client spent
+	// wanting the resource (first denial or queue entry) before a
+	// grant ended the wait.
+	MaxWait time.Duration
+
+	waiting      bool
+	waitingSince time.Duration
+}
+
+type waiter struct {
+	ctx     context.Context // wait context, child of the caller's
+	cancel  context.CancelFunc
+	holder  string
+	units   int64
+	granted bool
+	gone    bool
+}
+
+// dead reports whether the waiter can no longer be granted: it gave up,
+// or its context was canceled before a grant arrived. Checking ctx.Err
+// here closes the window between a cancellation cascading through the
+// wait context and the waiter goroutine resuming to mark itself gone.
+func (w *waiter) dead() bool {
+	return w.gone || (!w.granted && w.ctx.Err() != nil)
+}
+
+// New returns a manager for capacity units of the named resource with
+// the given tenure quantum. quantum <= 0 (or a nil engine) means
+// unlimited tenure: leases never expire and no watchdog is scheduled.
+func New(e *sim.Engine, name string, capacity int64, quantum time.Duration) *Manager {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if e == nil {
+		quantum = 0
+	}
+	return &Manager{eng: e, name: name, quantum: quantum, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (m *Manager) Name() string { return m.name }
+
+// Capacity returns the total number of units.
+func (m *Manager) Capacity() int64 { return m.capacity }
+
+// InUse returns the number of units currently held.
+func (m *Manager) InUse() int64 { return m.inUse }
+
+// Free returns the number of unheld units. It can be negative after a
+// capacity shrink; held units drain as leases end.
+func (m *Manager) Free() int64 { return m.capacity - m.inUse }
+
+// Quantum returns the tenure quantum (0 = unlimited).
+func (m *Manager) Quantum() time.Duration { return m.quantum }
+
+// SetQuantum changes the tenure quantum for leases granted from now
+// on; outstanding leases keep their current deadlines.
+func (m *Manager) SetQuantum(d time.Duration) {
+	if d < 0 || m.eng == nil {
+		d = 0
+	}
+	m.quantum = d
+}
+
+// SetCapacity adjusts capacity at runtime (e.g. an administrator
+// retuning a kernel table). Negative values clamp to zero. Shrinking
+// below InUse is allowed; units drain as leases end. Growing grants
+// queued waiters immediately.
+func (m *Manager) SetCapacity(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	m.capacity = n
+	m.grantWaiters()
+}
+
+// QueueLen returns the number of live processes waiting to acquire.
+func (m *Manager) QueueLen() int {
+	n := 0
+	for _, w := range m.waiters {
+		if !w.granted && !w.dead() {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Manager) now() time.Duration {
+	if m.eng == nil {
+		return 0
+	}
+	return m.eng.Elapsed()
+}
+
+func (m *Manager) stats(holder string) *ClientStats {
+	if m.clients == nil {
+		m.clients = make(map[string]*ClientStats)
+	}
+	st, ok := m.clients[holder]
+	if !ok {
+		st = &ClientStats{Holder: holder}
+		m.clients[holder] = st
+		m.order = append(m.order, holder)
+	}
+	return st
+}
+
+// NoteWant records that holder wants the resource but does not hold
+// it — e.g. a carrier sense came back busy, or a try failed upstream.
+// The wait interval it opens ends at the holder's next grant.
+func (m *Manager) NoteWant(holder string) {
+	st := m.stats(holder)
+	if !st.waiting {
+		st.waiting = true
+		st.waitingSince = m.now()
+	}
+}
+
+func (m *Manager) endWait(st *ClientStats) {
+	if st.waiting {
+		if w := m.now() - st.waitingSince; w > st.MaxWait {
+			st.MaxWait = w
+		}
+		st.waiting = false
+	}
+}
+
+// Clients returns the per-holder ledgers in first-contact order.
+func (m *Manager) Clients() []*ClientStats {
+	out := make([]*ClientStats, 0, len(m.order))
+	for _, h := range m.order {
+		out = append(out, m.clients[h])
+	}
+	return out
+}
+
+// LongestWait returns the longest wait currently in progress: the
+// no-starvation invariant samples this against its budget.
+func (m *Manager) LongestWait() time.Duration {
+	var max time.Duration
+	now := m.now()
+	for _, h := range m.order {
+		st := m.clients[h]
+		if st.waiting {
+			if w := now - st.waitingSince; w > max {
+				max = w
+			}
+		}
+	}
+	return max
+}
+
+// MaxStarvation returns the longest wait any client has experienced,
+// completed or still in progress.
+func (m *Manager) MaxStarvation() time.Duration {
+	max := m.LongestWait()
+	for _, h := range m.order {
+		if st := m.clients[h]; st.MaxWait > max {
+			max = st.MaxWait
+		}
+	}
+	return max
+}
+
+// TryTake takes units without waiting and without a lease, reporting
+// success. It exists for legacy callers (the condor FD table's raw
+// path) that manage tenure themselves; leased callers use TryAcquire.
+func (m *Manager) TryTake(units int64) bool {
+	if m.inUse+units <= m.capacity {
+		m.inUse += units
+		m.Acquires++
+		return true
+	}
+	m.Rejects++
+	return false
+}
+
+// Put returns units taken with TryTake. Returning more than was taken
+// panics: that is a simulation bug.
+func (m *Manager) Put(units int64) {
+	m.release(units)
+}
+
+// TryAcquire takes units as a lease without waiting, reporting
+// success. On failure the holder is marked as wanting the resource,
+// so the starvation clock runs until a later grant.
+func (m *Manager) TryAcquire(p *sim.Proc, ctx context.Context, holder string, units int64) (*Lease, bool) {
+	st := m.stats(holder)
+	if m.inUse+units <= m.capacity && m.QueueLen() == 0 {
+		m.inUse += units
+		m.Acquires++
+		st.Grants++
+		m.endWait(st)
+		return m.newLease(p, ctx, holder, units), true
+	}
+	m.Rejects++
+	st.Rejects++
+	m.NoteWant(holder)
+	return nil, false
+}
+
+// Acquire takes units as a lease, parking the process in FIFO order
+// until they are free or ctx is canceled (returning the cancellation
+// cause). Waiters whose units do not fit block the queue head, which
+// keeps the discipline FIFO-fair for mixed sizes.
+func (m *Manager) Acquire(p *sim.Proc, ctx context.Context, holder string, units int64) (*Lease, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := m.stats(holder)
+	if m.inUse+units <= m.capacity && m.QueueLen() == 0 {
+		m.inUse += units
+		m.Acquires++
+		st.Grants++
+		m.endWait(st)
+		return m.newLease(p, ctx, holder, units), nil
+	}
+	m.NoteWant(holder)
+	wctx, wcancel := m.eng.WithCancel(ctx)
+	w := &waiter{ctx: wctx, cancel: wcancel, holder: holder, units: units}
+	m.waiters = append(m.waiters, w)
+	herr := p.Hang(wctx)
+	if !w.granted {
+		w.gone = true
+		m.Timeouts++
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, herr
+	}
+	st.Grants++
+	m.endWait(st)
+	return m.newLease(p, ctx, holder, units), nil
+}
+
+// Grant takes units unconditionally as a lease: the caller has already
+// arbitrated admission (the fsbuffer allocator grants under its own
+// lane) and only wants the tenure discipline.
+func (m *Manager) Grant(p *sim.Proc, ctx context.Context, holder string, units int64) *Lease {
+	st := m.stats(holder)
+	m.inUse += units
+	m.Acquires++
+	st.Grants++
+	m.endWait(st)
+	return m.newLease(p, ctx, holder, units)
+}
+
+// release returns units and grants them to queued waiters.
+func (m *Manager) release(units int64) {
+	if units > m.inUse {
+		panic("lease: release underflow on " + m.name)
+	}
+	m.inUse -= units
+	m.grantWaiters()
+}
+
+// grantWaiters hands free units to queued waiters in FIFO order. A
+// grant wakes the waiter by canceling its wait context; the granted
+// flag distinguishes that wakeup from a real cancellation.
+func (m *Manager) grantWaiters() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		if w.dead() {
+			m.waiters = m.waiters[1:]
+			continue
+		}
+		if m.inUse+w.units > m.capacity {
+			return
+		}
+		m.waiters = m.waiters[1:]
+		w.granted = true
+		m.inUse += w.units
+		m.Acquires++
+		w.cancel()
+	}
+}
+
+// newLease mints the tenure record, arming the expiry watchdog when a
+// quantum is configured. The trace acquire event is emitted last so
+// event order matches the pre-lease code paths exactly.
+func (m *Manager) newLease(p *sim.Proc, ctx context.Context, holder string, units int64) *Lease {
+	l := &Lease{m: m, holder: holder, units: units, parent: ctx}
+	if p != nil {
+		l.tr = p.Tracer()
+	}
+	if m.quantum > 0 && m.eng != nil {
+		l.ctx, l.cancel = m.eng.WithCancel(ctx)
+		l.deadline = m.eng.Elapsed() + m.quantum
+		l.timer = m.eng.Schedule(m.quantum, l.expire)
+	}
+	l.tr.Acquire(m.name, units)
+	return l
+}
+
+// Lease is one granted tenure. The holder works under Ctx, renews
+// before the deadline to keep going, and releases when done; if the
+// deadline passes first the watchdog revokes the tenure out from
+// under it.
+type Lease struct {
+	m        *Manager
+	holder   string
+	units    int64
+	tr       *trace.Client
+	parent   context.Context
+	ctx      context.Context
+	cancel   context.CancelFunc
+	timer    *sim.Timer
+	deadline time.Duration
+	done     bool
+	revoked  bool
+}
+
+// Ctx returns the context the holder must work under: canceled on
+// revocation. With an unlimited quantum it is the acquisition context
+// itself (no watchdog, no extra context).
+func (l *Lease) Ctx() context.Context {
+	if l.ctx != nil {
+		return l.ctx
+	}
+	return l.parent
+}
+
+// Holder returns the holder name the lease was granted to.
+func (l *Lease) Holder() string { return l.holder }
+
+// Units returns the number of units held.
+func (l *Lease) Units() int64 { return l.units }
+
+// Deadline returns the virtual time the tenure expires; ok is false
+// for unlimited tenure.
+func (l *Lease) Deadline() (time.Duration, bool) {
+	return l.deadline, l.timer != nil
+}
+
+// Revoked reports whether the watchdog reclaimed this tenure.
+func (l *Lease) Revoked() bool { return l.revoked }
+
+// Renew extends the tenure by one quantum from now, reporting whether
+// the lease was still live. Renewing an unlimited lease is a no-op
+// that reports true.
+func (l *Lease) Renew() bool {
+	if l.done {
+		return false
+	}
+	if l.timer == nil {
+		return true
+	}
+	l.timer.Cancel()
+	l.deadline = l.m.eng.Elapsed() + l.m.quantum
+	l.timer = l.m.eng.Schedule(l.m.quantum, l.expire)
+	return true
+}
+
+// Release ends the tenure and returns the units. Releasing a revoked
+// or already-released lease is a no-op, so holders can defer Release
+// unconditionally.
+func (l *Lease) Release() {
+	if l.done {
+		return
+	}
+	l.done = true
+	if l.timer != nil {
+		l.timer.Cancel()
+	}
+	if l.cancel != nil {
+		l.cancel()
+	}
+	l.m.release(l.units)
+	l.tr.Release(l.m.name, l.units)
+}
+
+// expire is the watchdog: the quantum ran out without a Renew or
+// Release, so the tenure is revoked. The lease context is canceled
+// first (waking a holder stuck mid-operation at this instant), then
+// the units go back to the pool for waiting competitors.
+func (l *Lease) expire() {
+	if l.done {
+		return
+	}
+	l.done = true
+	l.revoked = true
+	l.m.Revokes++
+	l.m.stats(l.holder).Revokes++
+	l.tr.Revoke(l.m.name, l.units)
+	if l.cancel != nil {
+		l.cancel()
+	}
+	l.m.release(l.units)
+}

@@ -1,0 +1,325 @@
+package lease
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestUnlimitedTenureIsPlainSemaphore(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 2, 0)
+	var got error
+	e.Spawn("a", func(p *sim.Proc) {
+		ctx := e.Context()
+		l1, err := m.Acquire(p, ctx, "a", 1)
+		if err != nil {
+			got = err
+			return
+		}
+		if l1.Ctx() != ctx {
+			t.Error("unlimited lease must reuse the acquisition context")
+		}
+		if _, ok := l1.Deadline(); ok {
+			t.Error("unlimited lease must have no deadline")
+		}
+		if !l1.Renew() {
+			t.Error("renewing an unlimited lease must succeed")
+		}
+		p.SleepFor(time.Hour) // far beyond any quantum
+		if l1.Revoked() {
+			t.Error("unlimited lease revoked")
+		}
+		l1.Release()
+		l1.Release() // idempotent
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal(got)
+	}
+	if m.InUse() != 0 || m.Revokes != 0 {
+		t.Fatalf("inUse=%d revokes=%d", m.InUse(), m.Revokes)
+	}
+}
+
+func TestWatchdogRevokesStuckHolder(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 1, 10*time.Second)
+	var hangErr error
+	var revokedAt time.Duration
+	e.Spawn("stuck", func(p *sim.Proc) {
+		l, err := m.Acquire(p, e.Context(), "stuck", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Never renew, never release: the watchdog must reclaim us.
+		hangErr = p.Hang(l.Ctx())
+		revokedAt = e.Elapsed()
+		if !l.Revoked() {
+			t.Error("lease not marked revoked")
+		}
+		if l.Renew() {
+			t.Error("renew after revocation must fail")
+		}
+		l.Release() // no-op after revocation
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hangErr == nil {
+		t.Fatal("hang returned nil: lease context was never canceled")
+	}
+	if revokedAt != 10*time.Second {
+		t.Fatalf("revoked at %v, want 10s", revokedAt)
+	}
+	if m.InUse() != 0 {
+		t.Fatalf("units not reclaimed: inUse=%d", m.InUse())
+	}
+	if m.Revokes != 1 {
+		t.Fatalf("Revokes=%d", m.Revokes)
+	}
+	cs := m.Clients()
+	if len(cs) != 1 || cs[0].Holder != "stuck" || cs[0].Revokes != 1 {
+		t.Fatalf("client ledger: %+v", cs)
+	}
+}
+
+func TestRenewExtendsTenure(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 1, 10*time.Second)
+	e.Spawn("worker", func(p *sim.Proc) {
+		l, err := m.Acquire(p, e.Context(), "worker", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// 5 renewals of 6s each: total tenure 30s, never past a deadline.
+		for i := 0; i < 5; i++ {
+			p.SleepFor(6 * time.Second)
+			if !l.Renew() {
+				t.Errorf("renew %d failed at %v", i, e.Elapsed())
+				return
+			}
+		}
+		if l.Revoked() {
+			t.Error("actively renewing holder was revoked")
+		}
+		l.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Revokes != 0 || m.InUse() != 0 {
+		t.Fatalf("revokes=%d inUse=%d", m.Revokes, m.InUse())
+	}
+}
+
+func TestRevocationWakesWaiter(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 1, 10*time.Second)
+	var waiterGrantedAt time.Duration
+	e.Spawn("stuck", func(p *sim.Proc) {
+		l, _ := m.Acquire(p, e.Context(), "stuck", 1)
+		_ = p.Hang(l.Ctx())
+	})
+	e.Spawn("waiter", func(p *sim.Proc) {
+		p.SleepFor(time.Second)
+		l, err := m.Acquire(p, e.Context(), "waiter", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		waiterGrantedAt = e.Elapsed()
+		l.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waiterGrantedAt != 10*time.Second {
+		t.Fatalf("waiter granted at %v, want 10s (the revocation instant)", waiterGrantedAt)
+	}
+	cs := m.Clients()
+	if len(cs) != 2 {
+		t.Fatalf("clients: %+v", cs)
+	}
+	w := cs[1]
+	if w.Holder != "waiter" || w.MaxWait != 9*time.Second {
+		t.Fatalf("waiter ledger: %+v", w)
+	}
+}
+
+func TestFIFOOrderAndHeadOfLineBlocking(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 4, 0)
+	var order []string
+	grab := func(name string, units int64, after time.Duration, hold time.Duration) {
+		e.Spawn(name, func(p *sim.Proc) {
+			p.SleepFor(after)
+			l, err := m.Acquire(p, e.Context(), name, units)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order = append(order, name)
+			p.SleepFor(hold)
+			l.Release()
+		})
+	}
+	grab("a", 4, 0, 10*time.Second)
+	// b wants 3 and queues first; c wants 1 and arrives later. When a
+	// releases, b must be served before c even though c fits earlier.
+	grab("b", 3, time.Second, 10*time.Second)
+	grab("c", 1, 2*time.Second, time.Second)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("grant order = %v, want [a b c]", order)
+	}
+}
+
+func TestWaiterCancellation(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 1, 0)
+	var werr error
+	e.Spawn("holder", func(p *sim.Proc) {
+		l, _ := m.Acquire(p, e.Context(), "holder", 1)
+		p.SleepFor(time.Hour)
+		l.Release()
+	})
+	e.Spawn("waiter", func(p *sim.Proc) {
+		p.SleepFor(time.Second)
+		ctx, cancel := p.WithTimeout(e.Context(), 5*time.Second)
+		defer cancel()
+		_, werr = m.Acquire(p, ctx, "waiter", 1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if werr != context.DeadlineExceeded {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", werr)
+	}
+	if m.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d", m.Timeouts)
+	}
+	if m.QueueLen() != 0 {
+		t.Fatalf("dead waiter still queued: QueueLen=%d", m.QueueLen())
+	}
+}
+
+func TestSetCapacityGrowsAndShrinks(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 1, 0)
+	var grantedAt time.Duration
+	e.Spawn("holder", func(p *sim.Proc) {
+		l, _ := m.Acquire(p, e.Context(), "holder", 1)
+		p.SleepFor(time.Hour)
+		l.Release()
+	})
+	e.Spawn("waiter", func(p *sim.Proc) {
+		p.SleepFor(time.Second)
+		l, err := m.Acquire(p, e.Context(), "waiter", 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		grantedAt = e.Elapsed()
+		l.Release()
+	})
+	// Growing capacity mid-wait must grant the queued waiter immediately.
+	e.Schedule(10*time.Second, func() { m.SetCapacity(2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if grantedAt != 10*time.Second {
+		t.Fatalf("waiter granted at %v, want 10s (the capacity grow)", grantedAt)
+	}
+	m.SetCapacity(-5)
+	if m.Capacity() != 0 {
+		t.Fatalf("negative capacity must clamp to 0, got %d", m.Capacity())
+	}
+}
+
+func TestTryAcquireStartsStarvationClock(t *testing.T) {
+	e := sim.New(1)
+	m := New(e, "res", 1, 0)
+	e.Spawn("a", func(p *sim.Proc) {
+		l, ok := m.TryAcquire(p, e.Context(), "a", 1)
+		if !ok {
+			t.Error("first TryAcquire failed")
+			return
+		}
+		p.SleepFor(20 * time.Second)
+		l.Release()
+	})
+	e.Spawn("b", func(p *sim.Proc) {
+		p.SleepFor(time.Second)
+		if _, ok := m.TryAcquire(p, e.Context(), "b", 1); ok {
+			t.Error("over-capacity TryAcquire succeeded")
+			return
+		}
+		if m.LongestWait() != 0 {
+			t.Errorf("LongestWait just after denial = %v", m.LongestWait())
+		}
+		p.SleepFor(9 * time.Second)
+		// b has now wanted the resource for 9s without holding it.
+		if m.LongestWait() != 9*time.Second {
+			t.Errorf("LongestWait = %v, want 9s", m.LongestWait())
+		}
+		p.SleepFor(11 * time.Second)
+		l, ok := m.TryAcquire(p, e.Context(), "b", 1)
+		if !ok {
+			t.Error("TryAcquire after release failed")
+			return
+		}
+		l.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rejects != 1 {
+		t.Fatalf("Rejects = %d", m.Rejects)
+	}
+	cs := m.Clients()
+	if len(cs) != 2 {
+		t.Fatalf("clients: %+v", cs)
+	}
+	// b's wait ran from its denial at t=1s to its grant at t=21s.
+	if b := cs[1]; b.Holder != "b" || b.MaxWait != 20*time.Second || b.Rejects != 1 {
+		t.Fatalf("b ledger: %+v", b)
+	}
+	if m.MaxStarvation() != 20*time.Second {
+		t.Fatalf("MaxStarvation = %v", m.MaxStarvation())
+	}
+}
+
+func TestNilEngineIsPlainCounter(t *testing.T) {
+	m := New(nil, "fds", 10, time.Minute) // quantum forced to 0 without an engine
+	if m.Quantum() != 0 {
+		t.Fatalf("quantum with nil engine = %v", m.Quantum())
+	}
+	if !m.TryTake(6) || !m.TryTake(4) {
+		t.Fatal("TryTake within capacity failed")
+	}
+	if m.TryTake(1) {
+		t.Fatal("TryTake over capacity succeeded")
+	}
+	m.Put(10)
+	if m.InUse() != 0 || m.Acquires != 2 || m.Rejects != 1 {
+		t.Fatalf("inUse=%d acquires=%d rejects=%d", m.InUse(), m.Acquires, m.Rejects)
+	}
+}
+
+func TestPutUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(nil, "res", 10, 0).Put(1)
+}

@@ -221,6 +221,23 @@ func (h *Histogram) Stddev() float64 {
 	return math.Sqrt(v)
 }
 
+// JainIndex returns Jain's fairness index over per-client allocations:
+// (Σx)² / (n·Σx²). It is 1 when every client received the same amount
+// and approaches 1/n as one client monopolizes the resource. An empty
+// or all-zero slice is perfectly fair by convention (nobody got more
+// than anybody else) and returns 1.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
 // Table renders one or more series that share an x-axis as an aligned
 // text table, in the spirit of the paper's figures: the first column is
 // the x value, subsequent columns are each series' value at that x.

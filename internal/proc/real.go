@@ -98,6 +98,10 @@ func (r *RealRunner) killSession(c *exec.Cmd, done <-chan error) {
 	_ = syscall.Kill(-pgid, syscall.SIGTERM)
 	select {
 	case <-done:
+		// The direct child exited on the polite TERM, but descendants
+		// that trap or ignore it can survive in the group; sweep them so
+		// nothing outlives the session holding its resources.
+		_ = syscall.Kill(-pgid, syscall.SIGKILL)
 		return
 	case <-time.After(grace):
 	}

@@ -1,0 +1,68 @@
+//go:build unix
+
+package proc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+)
+
+// alive reports whether pid is still running. A zombie counts as dead:
+// it has been killed and merely awaits reaping by init.
+func alive(pid int) bool {
+	if syscall.Kill(pid, 0) != nil {
+		return false
+	}
+	stat, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+	if err != nil {
+		return true // no procfs: trust the signal probe
+	}
+	if i := bytes.LastIndexByte(stat, ')'); i >= 0 && i+2 < len(stat) {
+		return stat[i+2] != 'Z' && stat[i+2] != 'X'
+	}
+	return true
+}
+
+func TestRealRunnerSweepsOrphansWhenChildDiesOnTerm(t *testing.T) {
+	// The direct child exits politely on SIGTERM, but its grandchild
+	// inherits an ignored TERM and would happily outlive the session.
+	// The grandchild's stdout is detached so the child's exit alone
+	// completes Wait — killSession must not return on that exit without
+	// a SIGKILL sweep of the group, or the grandchild keeps the
+	// resources the try budget was supposed to reclaim.
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	err := realRunner(t).Run(ctx, core.NewReal(1), &interp.Command{
+		Name:   "sh",
+		Args:   []string{"-c", "(trap '' TERM; sleep 30) >/dev/null 2>&1 & echo $!; trap 'exit 0' TERM; wait"},
+		Stdout: &out,
+	})
+	if err == nil {
+		t.Skipf("sh unavailable (out=%q)", out.String())
+	}
+	pid, perr := strconv.Atoi(strings.TrimSpace(out.String()))
+	if perr != nil || pid <= 0 {
+		t.Skipf("could not learn grandchild pid from %q: %v", out.String(), perr)
+	}
+	// Whatever happens, do not leak a 30s sleeper into the test run.
+	defer func() { _ = syscall.Kill(pid, syscall.SIGKILL) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if !alive(pid) {
+			return // grandchild is gone: the sweep worked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("TERM-ignoring grandchild survived the session kill")
+}

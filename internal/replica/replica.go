@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lease"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -30,6 +31,12 @@ type Config struct {
 	FlagSize int64
 	// ConnectTime is the cost of establishing a connection.
 	ConnectTime time.Duration
+	// LeaseQuantum bounds how long a client may hold the server's
+	// single service lane before renewing. An actively transferring
+	// client renews as it goes; a wedged one is revoked and the lane
+	// reclaimed. Zero (the default, and the paper's figures) means
+	// unlimited tenure.
+	LeaseQuantum time.Duration
 }
 
 // DefaultConfig returns the paper's parameters.
@@ -58,10 +65,17 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// InjectFetch is the injection site covering any fetch from a server
-// (see core.Injector): an injected error is a dropped connection or
-// corrupted transfer, an injected delay is a slow link.
-const InjectFetch = "replica/fetch"
+// Injection sites consulted by this substrate (see core.Injector).
+const (
+	// InjectFetch covers any fetch from a server: an injected error is
+	// a dropped connection or corrupted transfer, an injected delay is
+	// a slow link.
+	InjectFetch = "replica/fetch"
+	// InjectHold covers the window where a client owns the service
+	// lane: an injected Hang wedges the client mid-transfer, the
+	// stuck-holder failure mode the lease watchdog exists for.
+	InjectHold = "replica/hold"
+)
 
 // Server is one replica. A server is single-threaded: one client
 // transfers at a time and the rest queue on the connection.
@@ -70,7 +84,7 @@ type Server struct {
 	BlackHole bool
 	cfg       Config
 	inj       core.Injector
-	lane      *sim.Resource
+	lane      *lease.Manager
 
 	// Transfers counts completed payload downloads; Probes counts flag
 	// fetches served; Absorbed counts clients that entered the black
@@ -87,7 +101,7 @@ func NewServer(e *sim.Engine, name string, blackHole bool, cfg Config) *Server {
 		Name:      name,
 		BlackHole: blackHole,
 		cfg:       cfg,
-		lane:      sim.NewResource(e, name, 1),
+		lane:      lease.New(e, name, 1, cfg.LeaseQuantum),
 	}
 }
 
@@ -113,33 +127,84 @@ func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
 	if err := p.Sleep(ctx, s.cfg.ConnectTime); err != nil {
 		return err
 	}
-	if err := s.lane.Acquire(p, ctx); err != nil {
+	l, err := s.lane.Acquire(p, ctx, p.Name(), 1)
+	if err != nil {
 		return err
 	}
-	tr := p.Tracer()
-	tr.Acquire(s.Name, 1)
-	defer func() {
-		s.lane.Release()
-		tr.Release(s.Name, 1)
-	}()
+	defer l.Release()
+	// Work under the lease context: a revoked tenure unwinds the hold.
+	// With an unlimited quantum Ctx() is the caller's context.
+	lctx := l.Ctx()
 	if s.BlackHole {
 		s.Absorbed++
-		return p.Hang(ctx) // never returns data; only cancellation frees us
+		// Never returns data; only cancellation — or the lease watchdog
+		// reclaiming the lane — frees us.
+		return s.holdErr(ctx, l, p.Hang(lctx))
+	}
+	// Chaos seam: a stuck-holder plan wedges this client while it owns
+	// the service lane, a per-client black hole.
+	if f := core.InjectAt(s.inj, InjectHold); f.Hang {
+		p.Tracer().FaultInjected(InjectHold)
+		s.Absorbed++
+		return s.holdErr(ctx, l, p.Hang(lctx))
 	}
 	d := time.Duration(float64(size) / float64(s.cfg.Bandwidth) * float64(time.Second))
 	// Chaos seam: a fault plan may slow the transfer or drop it partway.
 	if f := core.InjectAt(s.inj, InjectFetch); !f.Zero() {
-		tr.FaultInjected(InjectFetch)
+		p.Tracer().FaultInjected(InjectFetch)
 		d += f.Delay
 		if f.Err != nil {
 			// The connection dies mid-transfer: half the bytes moved.
-			if err := p.Sleep(ctx, d/2); err != nil {
-				return err
+			if err := s.sleepRenewing(p, lctx, l, d/2); err != nil {
+				return s.holdErr(ctx, l, err)
 			}
 			return core.Collision(s.Name, f.Err)
 		}
 	}
-	return p.Sleep(ctx, d)
+	return s.holdErr(ctx, l, s.sleepRenewing(p, lctx, l, d))
+}
+
+// sleepRenewing sleeps for d, renewing the lease each half-quantum so
+// an actively transferring client is never mistaken for a stuck one.
+// With unlimited tenure it is a single plain sleep.
+func (s *Server) sleepRenewing(p *sim.Proc, ctx context.Context, l *lease.Lease, d time.Duration) error {
+	q := s.lane.Quantum()
+	if q <= 0 {
+		return p.Sleep(ctx, d)
+	}
+	step := q / 2
+	if step <= 0 {
+		step = q
+	}
+	for d > 0 {
+		chunk := d
+		if chunk > step {
+			chunk = step
+		}
+		if err := p.Sleep(ctx, chunk); err != nil {
+			return err
+		}
+		d -= chunk
+		l.Renew()
+	}
+	return nil
+}
+
+// holdErr classifies the end of a held-lane wait: the caller's own
+// cancellation propagates; a revoked tenure is a collision on this
+// server (the client touched the resource and lost it); otherwise the
+// sleep's verdict stands.
+func (s *Server) holdErr(ctx context.Context, l *lease.Lease, err error) error {
+	if err == nil {
+		return nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if l.Revoked() {
+		return core.Collision(s.Name, lease.ErrRevoked)
+	}
+	return err
 }
 
 // FetchData downloads the full payload file.

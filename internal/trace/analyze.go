@@ -23,6 +23,7 @@ type Summary struct {
 	Probes     int
 	SenseBusy  int
 	Faults     int // chaos interventions recorded against this process
+	Revokes    int // leases forcibly reclaimed from this process
 
 	Backoff time.Duration // backoff triggered by collision or failure
 	CSWait  time.Duration // backoff triggered by a carrier-sense defer
@@ -181,6 +182,14 @@ func Analyze(t *Tracer) []Summary {
 					s.Holding += ev.At - st.holdStart
 				}
 			}
+		case KRevoke:
+			s.Revokes++
+			if st.holdDepth > 0 {
+				st.holdDepth--
+				if st.holdDepth == 0 {
+					s.Holding += ev.At - st.holdStart
+				}
+			}
 		}
 		// Busy is the union of the attempt, probe, and hold intervals,
 		// accounted at membership transitions.
@@ -233,7 +242,7 @@ func WriteSummary(w io.Writer, sums []Summary) error {
 	if _, err := fmt.Fprintf(w, "# trace summary: window=%s\n", durStr(windowOf(sums))); err != nil {
 		return err
 	}
-	header := []string{"discipline", "clients", "attempts", "coll", "coll-rate", "probes", "sense-busy", "backoff", "cs-wait", "holding", "idle", "faults", "wasted"}
+	header := []string{"discipline", "clients", "attempts", "coll", "coll-rate", "probes", "sense-busy", "backoff", "cs-wait", "holding", "idle", "faults", "wasted", "revokes"}
 	rows := [][]string{header}
 	for _, s := range sums {
 		rows = append(rows, []string{
@@ -250,6 +259,7 @@ func WriteSummary(w io.Writer, sums []Summary) error {
 			pct(s.IdleShare()),
 			fmt.Sprintf("%d", s.Faults),
 			durStr(s.Wasted),
+			fmt.Sprintf("%d", s.Revokes),
 		})
 	}
 	widths := make([]int, len(header))

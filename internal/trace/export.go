@@ -166,6 +166,18 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 					break
 				}
 			}
+		case KRevoke:
+			// A revoked tenure closes like a release, but the slice is
+			// marked so viewers can tell reclaims from voluntary ends.
+			hs := holds[ev.TID]
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i].site == ev.Site {
+					args := fmt.Sprintf(`"units":%d,"revoked":true`, hs[i].arg)
+					slice("hold:"+ev.Site, ev.PID, ev.TID, hs[i].at, ev.At, args)
+					holds[ev.TID] = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
 		case KFaultInjected:
 			instant("fault:"+ev.Site, ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
 		case KSpanBegin:

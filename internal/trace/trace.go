@@ -31,7 +31,8 @@ type Kind uint8
 // cycle; Attempt and its terminal kinds (Success, Failure, Collision)
 // bracket resource-consuming work; Defer records an attempt abandoned
 // before consuming the resource; BackoffStart/BackoffEnd bracket the
-// inter-attempt sleep; Acquire/Release bracket resource tenure;
+// inter-attempt sleep; Acquire/Release bracket resource tenure, with
+// Revoke closing a tenure the lease watchdog reclaimed instead;
 // FaultInjected marks a chaos-plan intervention; SpanBegin/SpanEnd
 // bracket hierarchical scopes (ftsh try/forany/forall blocks, client
 // attempt loops).
@@ -51,6 +52,7 @@ const (
 	KFaultInjected
 	KSpanBegin
 	KSpanEnd
+	KRevoke
 )
 
 // String names the kind as it appears in exported traces.
@@ -86,6 +88,8 @@ func (k Kind) String() string {
 		return "span-begin"
 	case KSpanEnd:
 		return "span-end"
+	case KRevoke:
+		return "revoke"
 	default:
 		return "unknown"
 	}
@@ -342,6 +346,15 @@ func (c *Client) Release(res string, n int64) {
 		return
 	}
 	c.emit(KRelease, res, n)
+}
+
+// Revoke records the lease watchdog forcibly reclaiming n units of
+// resource res from this client: tenure ended without a release.
+func (c *Client) Revoke(res string, n int64) {
+	if c == nil {
+		return
+	}
+	c.emit(KRevoke, res, n)
 }
 
 // FaultInjected records a chaos-plan intervention at site biting this

@@ -31,11 +31,13 @@ race:
 race-core:
 	$(GO) test -race ./internal/core ./internal/lease
 
-# Run every benchmark exactly once: keeps the harnesses compiling and
-# passing (including the tracer-overhead benchmarks) without paying for
-# real measurement in CI.
+# Run every benchmark exactly once (keeps the harnesses compiling and
+# passing — including the engine hot-path and parallel-sweep benchmarks
+# — without paying for real measurement in CI), then the parallel-vs-
+# serial determinism cross-check under the race detector.
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+	$(GO) test -race -run TestParallelDeterminism ./cmd/gridbench
 
 # A brief run of each fuzz target: catches regressions in the corpus
 # and keeps the harnesses themselves compiling and passing.

@@ -59,6 +59,28 @@ func BenchmarkFig1(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepParallel measures the parallel cell runner over the
+// full Figure 1 sweep (36 independent cells at scale 0.1): wall-clock
+// per sweep at increasing worker counts. Speedup is bounded by
+// min(workers, cores); the jobs/op metric pins that every worker count
+// computes the same sweep.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			var jobs float64
+			for i := 0; i < b.N; i++ {
+				t := expt.Fig1(expt.Options{Scale: 0.1, Parallel: workers})
+				for _, col := range t.Cols {
+					for _, v := range col.Vals {
+						jobs += v
+					}
+				}
+			}
+			b.ReportMetric(jobs/float64(b.N), "jobs/op")
+		})
+	}
+}
+
 // BenchmarkFig2 regenerates Figure 2 (Aloha submitter timeline).
 func BenchmarkFig2(b *testing.B) {
 	benchTimeline(b, core.Aloha)

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	gridbench [-fig N|la] [-seed S] [-scale F] [-format table|tsv]
-//	          [-chaos PLAN] [-chaos-seed S] [-check]
+//	          [-parallel N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without -fig, every figure is produced in order. Output is plain
 // aligned text (or TSV for plotting): sweep tables for Figures 1, 4,
@@ -21,6 +22,12 @@
 // squeeze), deterministically scheduled from -chaos-seed. -check runs
 // the invariant-checker suite alongside every figure and fails the run
 // if any safety or liveness property is violated.
+//
+// -parallel runs the sweep figures' independent simulation cells on N
+// workers (0, the default, means GOMAXPROCS; 1 forces the serial
+// path). Cells are reassembled in fixed order, so output is
+// byte-identical at every setting. -cpuprofile and -memprofile write
+// pprof profiles of the run for `go tool pprof`.
 //
 // -trace records every client's event timeline (attempts, collisions,
 // carrier senses, backoffs, resource holds, injected faults) to FILE:
@@ -39,6 +46,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -66,6 +75,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "record an event trace of every client to this file")
 	traceFormat := fs.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
 	traceSummary := fs.Bool("trace-summary", false, "append a per-discipline collision/backoff accounting table")
+	parallel := fs.Int("parallel", 0, "worker count for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -80,7 +92,38 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
 
-	opt := expt.Options{Seed: *seed, Scale: *scale}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "gridbench: %v\n", err)
+				return
+			}
+			runtime.GC() // report live allocations, not GC noise
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
+	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
 	if *chaosName != "" {
 		cs := *chaosSeed
 		if cs == 0 {

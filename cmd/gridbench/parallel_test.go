@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// figsAll lists every figure the CLI can regenerate.
+var figsAll = []string{"1", "2", "3", "4", "5", "6", "7", "la"}
+
+// TestParallelDeterminism is the acceptance check for the parallel
+// sweep runner: for every figure and three distinct seeds, the full
+// CLI output (tables, banners, totals) and the trace summary at
+// -parallel 8 must be byte-identical to the forced-serial run.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every figure at two parallelism levels and three seeds")
+	}
+	for _, seed := range []string{"1", "7", "42"} {
+		for _, fig := range figsAll {
+			fig := fig
+			t.Run(fmt.Sprintf("fig%s/seed%s", fig, seed), func(t *testing.T) {
+				args := []string{"-fig", fig, "-scale", "0.1", "-seed", seed, "-trace-summary", "-check"}
+				c1, serial, e1 := cli(t, append(args, "-parallel", "1")...)
+				c8, par, e8 := cli(t, append(args, "-parallel", "8")...)
+				if c1 != 0 || c8 != 0 {
+					t.Fatalf("codes %d/%d stderr %q %q", c1, c8, e1, e8)
+				}
+				if stripTiming(serial) != stripTiming(par) {
+					t.Errorf("-parallel 8 output drifted from -parallel 1.\nserial:\n%s\nparallel:\n%s",
+						stripTiming(serial), stripTiming(par))
+				}
+			})
+		}
+	}
+}
+
+// TestProfileFlags smoke-tests -cpuprofile and -memprofile: the run
+// must succeed and leave non-empty pprof files behind.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errOut := cli(t, "-fig", "1", "-scale", "0.1", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/core"
 	"repro/internal/replica"
+	"repro/internal/trace"
 )
 
 // The chaos sweeps below re-run each scenario under ~20 seeded fault
@@ -61,14 +62,20 @@ func TestChaosSweepCondor(t *testing.T) {
 		t.Fatalf("only %d plans", len(plans))
 	}
 	rec := &chaos.Recorder{}
+	opt.Check = rec
+	cells := make([]float64, len(plans)*len(sweepOrder))
+	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
+		plan := plans[c/len(sweepOrder)]
+		d := sweepOrder[c%len(sweepOrder)]
+		subCfg, clCfg := scaledConfigs(opt, d)
+		j, _ := submitCellTraced(opt.seed(), n, window, subCfg, clCfg, plan, cellRec, tr)
+		cells[c] = float64(j)
+	})
 	var sum [3]float64
-	for _, plan := range plans {
-		var jobs [3]float64
-		for i, d := range sweepOrder {
-			subCfg, clCfg := scaledConfigs(opt, d)
-			j, _ := SubmitCellChaos(opt.seed(), n, window, subCfg, clCfg, plan, rec)
-			jobs[i] = float64(j)
-			sum[i] += float64(j)
+	for pi, plan := range plans {
+		jobs := cells[pi*3 : pi*3+3]
+		for i := range sum {
+			sum[i] += jobs[i]
 		}
 		t.Logf("%-8s seed=%d: fixed=%5.0f aloha=%5.0f ethernet=%5.0f",
 			plan.Name, plan.Seed, jobs[0], jobs[1], jobs[2])
@@ -94,13 +101,19 @@ func TestChaosSweepBuffer(t *testing.T) {
 	n := 25 // paper-scale producer count; the cell itself is cheap
 	plans := chaosPlans(t, 1, 2, 3)
 	rec := &chaos.Recorder{}
+	opt.Check = rec
+	cells := make([]float64, len(plans)*len(sweepOrder))
+	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
+		plan := plans[c/len(sweepOrder)]
+		d := sweepOrder[c%len(sweepOrder)]
+		b := bufferCellTraced(opt.seed(), n, window, d, plan, cellRec, tr)
+		cells[c] = float64(b.Consumed)
+	})
 	var sum [3]float64
-	for _, plan := range plans {
-		var consumed [3]float64
-		for i, d := range sweepOrder {
-			b := BufferCell(opt.seed(), n, window, d, plan, rec)
-			consumed[i] = float64(b.Consumed)
-			sum[i] += float64(b.Consumed)
+	for pi, plan := range plans {
+		consumed := cells[pi*3 : pi*3+3]
+		for i := range sum {
+			sum[i] += consumed[i]
 		}
 		t.Logf("%-8s seed=%d: fixed=%5.0f aloha=%5.0f ethernet=%5.0f",
 			plan.Name, plan.Seed, consumed[0], consumed[1], consumed[2])
@@ -143,13 +156,19 @@ func TestChaosSweepReader(t *testing.T) {
 		rcfg.OuterLimit = window
 		return rcfg
 	}
+	opt.Check = rec
+	cells := make([]float64, len(plans)*len(sweepOrder))
+	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
+		plan := plans[c/len(sweepOrder)]
+		d := sweepOrder[c%len(sweepOrder)]
+		tl := readerCellTraced(opt.seed(), window, mk(d), plan, cellRec, tr)
+		cells[c] = float64(tl.TotalTransfers)
+	})
 	var sum [3]float64
-	for _, plan := range plans {
-		var transfers [3]float64
-		for i, d := range sweepOrder {
-			tl := ReaderCellChaos(opt.seed(), window, mk(d), plan, rec)
-			transfers[i] = float64(tl.TotalTransfers)
-			sum[i] += float64(tl.TotalTransfers)
+	for pi, plan := range plans {
+		transfers := cells[pi*3 : pi*3+3]
+		for i := range sum {
+			sum[i] += transfers[i]
 		}
 		t.Logf("%-8s seed=%d: fixed=%5.0f aloha=%5.0f ethernet=%5.0f",
 			plan.Name, plan.Seed, transfers[0], transfers[1], transfers[2])

@@ -41,6 +41,12 @@ type Options struct {
 	// and sleeps for no virtual time — so a traced run produces exactly
 	// the figures an untraced run does.
 	Trace *trace.Tracer
+	// Parallel bounds how many simulation cells a sweep figure runs
+	// concurrently: 0 means GOMAXPROCS, 1 the legacy serial path. Every
+	// cell is an independent universe, and per-cell traces and
+	// violations are reassembled in cell order, so output is
+	// byte-identical at any setting (see runner.go).
+	Parallel int
 }
 
 func (o Options) seed() int64 {
@@ -211,12 +217,18 @@ func Fig1(opt Options) *metrics.SweepTable {
 		xs = append(xs, opt.scaleN(n))
 	}
 	t := &metrics.SweepTable{XLabel: "submitters", Xs: xs}
-	for _, d := range core.Disciplines {
-		col := metrics.SweepCol{Name: d.String()}
+	jobs := make([]int64, len(core.Disciplines)*len(xs))
+	runCells(opt, len(jobs), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+		d := core.Disciplines[c/len(xs)]
+		i := c % len(xs)
 		subCfg, clCfg := scaledConfigs(opt, d)
-		for i, n := range xs {
-			jobs, _ := submitCellTraced(opt.seed()+int64(i), n, window, subCfg, clCfg, opt.Chaos, opt.Check, opt.Trace)
-			col.Vals = append(col.Vals, float64(jobs))
+		j, _ := submitCellTraced(opt.seed()+int64(i), xs[i], window, subCfg, clCfg, opt.Chaos, rec, tr)
+		jobs[c] = j
+	})
+	for di, d := range core.Disciplines {
+		col := metrics.SweepCol{Name: d.String()}
+		for i := range xs {
+			col.Vals = append(col.Vals, float64(jobs[di*len(xs)+i]))
 		}
 		t.Cols = append(t.Cols, col)
 	}
@@ -329,13 +341,21 @@ func RunBufferSweep(opt Options) *BufferSweep {
 		Consumed:   &metrics.SweepTable{XLabel: "producers", Xs: xs},
 		Collisions: &metrics.SweepTable{XLabel: "producers", Xs: xs},
 	}
-	for _, d := range core.Disciplines {
+	type bufRes struct{ consumed, collisions int64 }
+	res := make([]bufRes, len(core.Disciplines)*len(xs))
+	runCells(opt, len(res), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+		d := core.Disciplines[c/len(xs)]
+		i := c % len(xs)
+		b := bufferCellTraced(opt.seed()+int64(i), xs[i], window, d, opt.Chaos, rec, tr)
+		res[c] = bufRes{consumed: b.Consumed, collisions: b.Collisions}
+	})
+	for di, d := range core.Disciplines {
 		cons := metrics.SweepCol{Name: d.String()}
 		coll := metrics.SweepCol{Name: d.String()}
-		for i, n := range xs {
-			b := bufferCellTraced(opt.seed()+int64(i), n, window, d, opt.Chaos, opt.Check, opt.Trace)
-			cons.Vals = append(cons.Vals, float64(b.Consumed))
-			coll.Vals = append(coll.Vals, float64(b.Collisions))
+		for i := range xs {
+			r := res[di*len(xs)+i]
+			cons.Vals = append(cons.Vals, float64(r.consumed))
+			coll.Vals = append(coll.Vals, float64(r.collisions))
 		}
 		bs.Consumed.Cols = append(bs.Consumed.Cols, cons)
 		bs.Collisions.Cols = append(bs.Collisions.Cols, coll)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // ---------------------------------------------------------------------
@@ -187,14 +188,28 @@ func FigLA(opt Options) *LeaseAblation {
 		starved: metrics.SweepCol{Name: "starved"},
 		wait:    metrics.SweepCol{Name: "wait-unleased"},
 	}
-	for i, n := range xs {
+	// Two cells per population: leased (even index) then unleased (odd),
+	// matching the serial emission order of traces and violations.
+	results := make([]*LeaseCellResult, 2*len(xs))
+	runCells(opt, len(results), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+		i := c / 2
 		seed := opt.seed() + int64(i)
 		plan := opt.Chaos
 		if plan == nil {
 			plan, _ = chaos.Preset("stuck-holder", seed)
 		}
-		leased := LeaseCell(opt, seed, n, window, quantum, plan, opt.Check)
-		unleased := LeaseCell(opt, seed, n, window, 0, plan, nil)
+		copt := opt
+		copt.Trace = tr
+		if c%2 == 0 {
+			results[c] = LeaseCell(copt, seed, xs[i], window, quantum, plan, rec)
+		} else {
+			// The unleased arm's violations are the measurement, not a
+			// failure: they stay out of the experiment's recorder.
+			results[c] = LeaseCell(copt, seed, xs[i], window, 0, plan, nil)
+		}
+	})
+	for i := range xs {
+		leased, unleased := results[2*i], results[2*i+1]
 		cols.jobsL.Vals = append(cols.jobsL.Vals, float64(leased.Jobs))
 		cols.jobsU.Vals = append(cols.jobsU.Vals, float64(unleased.Jobs))
 		cols.jainL.Vals = append(cols.jainL.Vals, 100*leased.Jain)

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/chaos"
+	"repro/internal/trace"
+)
+
+// Every figure is a sweep of independent simulation cells — each cell
+// owns a private sim.Engine and seed, consumes no state from its
+// neighbors, and differs only in its population, discipline, or fault
+// plan. runCells is the one place that exploits this: it executes the
+// cells on a worker pool and reassembles every observable side effect
+// (trace events, invariant violations) in fixed cell order, so a
+// parallel sweep is byte-identical to the serial one at any worker
+// count. Numeric results flow back through the closure's own slices,
+// indexed by cell, which parallel execution never reorders.
+
+// workers resolves Options.Parallel: 0 means GOMAXPROCS, 1 the legacy
+// serial path, anything larger an explicit worker count.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells executes cells 0..n-1 via run, which must write its results
+// into per-cell slots and touch shared sinks only through the tr and
+// rec it is handed (either may be nil, mirroring opt.Trace/opt.Check).
+//
+// With one worker the cells run in the calling goroutine against
+// opt.Trace and opt.Check directly — the legacy serial path. With more,
+// each cell gets a private tracer and recorder; after every cell
+// finishes, tracers are merged (trace.Tracer.Merge) and violations
+// appended in cell order, reproducing the serial byte stream. A panic
+// in any cell is re-raised here, lowest cell first, after the pool
+// drains.
+func runCells(opt Options, n int, run func(cell int, tr *trace.Tracer, rec *chaos.Recorder)) {
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i, opt.Trace, opt.Check)
+		}
+		return
+	}
+
+	trs := make([]*trace.Tracer, n)
+	recs := make([]*chaos.Recorder, n)
+	for i := 0; i < n; i++ {
+		if opt.Trace != nil {
+			trs[i] = trace.New()
+		}
+		if opt.Check != nil {
+			recs[i] = &chaos.Recorder{}
+		}
+	}
+
+	panics := make([]any, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					run(i, trs[i], recs[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if opt.Trace != nil {
+			opt.Trace.Merge(trs[i])
+		}
+		if opt.Check != nil && recs[i] != nil {
+			for _, v := range recs[i].Violations {
+				opt.Check.Add(v)
+			}
+		}
+	}
+}

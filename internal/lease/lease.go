@@ -367,7 +367,7 @@ type Lease struct {
 	parent   context.Context
 	ctx      context.Context
 	cancel   context.CancelFunc
-	timer    *sim.Timer
+	timer    sim.Timer
 	deadline time.Duration
 	done     bool
 	revoked  bool
@@ -392,7 +392,7 @@ func (l *Lease) Units() int64 { return l.units }
 // Deadline returns the virtual time the tenure expires; ok is false
 // for unlimited tenure.
 func (l *Lease) Deadline() (time.Duration, bool) {
-	return l.deadline, l.timer != nil
+	return l.deadline, l.timer.Scheduled()
 }
 
 // Revoked reports whether the watchdog reclaimed this tenure.
@@ -405,7 +405,7 @@ func (l *Lease) Renew() bool {
 	if l.done {
 		return false
 	}
-	if l.timer == nil {
+	if !l.timer.Scheduled() {
 		return true
 	}
 	l.timer.Cancel()
@@ -422,9 +422,7 @@ func (l *Lease) Release() {
 		return
 	}
 	l.done = true
-	if l.timer != nil {
-		l.timer.Cancel()
-	}
+	l.timer.Cancel()
 	if l.cancel != nil {
 		l.cancel()
 	}

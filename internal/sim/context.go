@@ -22,7 +22,7 @@ type Ctx struct {
 	err      error
 	deadline time.Duration // virtual; valid if hasDeadline
 	hasDL    bool
-	timer    *Timer
+	timer    Timer
 	children map[*Ctx]int // value: registration order
 	childSeq int
 	hooks    map[int]func(error)
@@ -65,10 +65,8 @@ func (c *Ctx) cancel(err error) {
 	}
 	c.err = err
 	close(c.done)
-	if c.timer != nil {
-		c.timer.Cancel()
-		c.timer = nil
-	}
+	c.timer.Cancel()
+	c.timer = Timer{}
 	for _, h := range sortedHooks(c.hooks) {
 		h(err)
 	}

@@ -13,6 +13,14 @@
 // with hundreds of concurrent clients, exactly as the paper's experiments
 // require. A real-time adapter in internal/core runs the same logic
 // against the wall clock.
+//
+// The scheduler's two hot structures are tuned for sweep workloads
+// (internal/expt runs thousands of cells, each millions of steps): the
+// run queue is a ring buffer with an O(1) pop, and timers come from a
+// free list with generation-checked handles, so the schedule/cancel
+// churn of timeout-guarded work neither allocates per operation nor
+// grows the timer heap without bound (dead entries are compacted away
+// once they are the majority).
 package sim
 
 import (
@@ -35,8 +43,12 @@ type Engine struct {
 	now    time.Duration // virtual time since Epoch
 	seq    int64         // tie-breaker for timers scheduled at the same instant
 	timers timerHeap
-	runq   []*Proc // FIFO of runnable processes
-	live   int     // processes that have not exited
+	dead   int          // canceled timers still sitting in the heap
+	free   []*timerNode // recycled timer nodes
+	runq   []*Proc      // ring buffer of runnable processes
+	rqHead int          // index of the front of the ring
+	rqLen  int          // live entries in the ring
+	live   int          // processes that have not exited
 
 	yielded chan struct{} // process -> engine token handoff
 	current *Proc
@@ -81,6 +93,30 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // explicitly requested, e.g. to shut down an experiment window.
 func (e *Engine) Context() *Ctx { return e.root }
 
+// pushRun appends a process to the back of the run-queue ring, growing
+// the ring when full.
+func (e *Engine) pushRun(p *Proc) {
+	if e.rqLen == len(e.runq) {
+		grown := make([]*Proc, max(16, 2*len(e.runq)))
+		for i := 0; i < e.rqLen; i++ {
+			grown[i] = e.runq[(e.rqHead+i)%len(e.runq)]
+		}
+		e.runq = grown
+		e.rqHead = 0
+	}
+	e.runq[(e.rqHead+e.rqLen)%len(e.runq)] = p
+	e.rqLen++
+}
+
+// popRun removes and returns the front of the run-queue ring.
+func (e *Engine) popRun() *Proc {
+	p := e.runq[e.rqHead]
+	e.runq[e.rqHead] = nil
+	e.rqHead = (e.rqHead + 1) % len(e.runq)
+	e.rqLen--
+	return p
+}
+
 // Spawn creates a new process executing fn and schedules it to run. It
 // may be called before Run or from inside a running process or timer.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
@@ -95,21 +131,75 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn(p)
 		p.exit()
 	}()
-	e.runq = append(e.runq, p)
+	e.pushRun(p)
 	return p
 }
 
 // Schedule arranges for fn to run at virtual time now+d under the engine
-// token. It returns a handle that can cancel the callback before it fires.
-func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+// token. It returns a handle that can cancel the callback before it
+// fires. The handle is a value: copies are equivalent, and the zero
+// Timer is valid and inert.
+func (e *Engine) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	t := &Timer{at: e.now + d, seq: e.seq, fn: fn, index: -1}
+	n := e.allocTimer()
+	n.at = e.now + d
+	n.seq = e.seq
+	n.fn = fn
 	e.seq++
-	heap.Push(&e.timers, t)
-	return t
+	heap.Push(&e.timers, n)
+	return Timer{eng: e, n: n, gen: n.gen, at: n.at}
 }
+
+// allocTimer takes a node from the free list, or mints one.
+func (e *Engine) allocTimer() *timerNode {
+	if k := len(e.free); k > 0 {
+		n := e.free[k-1]
+		e.free[k-1] = nil
+		e.free = e.free[:k-1]
+		return n
+	}
+	return &timerNode{index: -1}
+}
+
+// recycleTimer returns a popped node to the free list. Bumping the
+// generation invalidates every outstanding handle to the old tenure, so
+// a late Cancel on a fired timer can never hit the node's next user.
+func (e *Engine) recycleTimer(n *timerNode) {
+	n.gen++
+	n.fn = nil
+	n.canceled = false
+	e.free = append(e.free, n)
+}
+
+// compactTimers rebuilds the heap without its canceled entries. Called
+// when the dead outnumber the live, so total compaction work stays
+// linear in the number of timers ever canceled.
+func (e *Engine) compactTimers() {
+	live := e.timers[:0]
+	for _, n := range e.timers {
+		if n.canceled {
+			e.recycleTimer(n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	for i := len(live); i < len(e.timers); i++ {
+		e.timers[i] = nil
+	}
+	e.timers = live
+	for i, n := range e.timers {
+		n.index = i
+	}
+	heap.Init(&e.timers)
+	e.dead = 0
+}
+
+// compactThreshold is the heap size below which canceled entries are
+// left in place: tiny heaps pop dead entries soon enough anyway, and
+// skipping them avoids compaction thrash in short simulations.
+const compactThreshold = 64
 
 // Run executes the simulation until no process is runnable and no timer is
 // pending (quiescence), or until MaxEvents steps have been taken, in which
@@ -124,26 +214,28 @@ func (e *Engine) Run() error {
 	for {
 		e.events++
 		if e.events > max {
-			return fmt.Errorf("sim: exceeded %d events at t=%v (runnable=%d timers=%d): likely livelock", max, e.now, len(e.runq), e.timers.Len())
+			return fmt.Errorf("sim: exceeded %d events at t=%v (runnable=%d timers=%d): likely livelock", max, e.now, e.rqLen, e.timers.Len())
 		}
 		switch {
-		case len(e.runq) > 0:
-			p := e.runq[0]
-			copy(e.runq, e.runq[1:])
-			e.runq = e.runq[:len(e.runq)-1]
+		case e.rqLen > 0:
+			p := e.popRun()
 			e.current = p
 			p.resume <- struct{}{}
 			<-e.yielded
 			e.current = nil
 		case e.timers.Len() > 0:
-			t := heap.Pop(&e.timers).(*Timer)
-			if t.canceled {
+			n := heap.Pop(&e.timers).(*timerNode)
+			if n.canceled {
+				e.dead--
+				e.recycleTimer(n)
 				continue
 			}
-			if t.at > e.now {
-				e.now = t.at
+			if n.at > e.now {
+				e.now = n.at
 			}
-			t.fn()
+			fn := n.fn
+			e.recycleTimer(n)
+			fn()
 		default:
 			return nil
 		}
@@ -152,29 +244,67 @@ func (e *Engine) Run() error {
 
 // Quiesced reports whether the engine has neither runnable processes nor
 // pending timers.
-func (e *Engine) Quiesced() bool { return len(e.runq) == 0 && e.timers.Len() == 0 }
+func (e *Engine) Quiesced() bool { return e.rqLen == 0 && e.timers.Len() == 0 }
 
 // Live reports the number of processes that have been spawned and have
 // not yet returned.
 func (e *Engine) Live() int { return e.live }
 
-// Timer is a scheduled callback. See Engine.Schedule.
+// Timer is a cancelable handle to a callback scheduled with
+// Engine.Schedule. It is a value: copying it is fine, and the zero
+// Timer is inert (Cancel does nothing, Scheduled reports false).
+//
+// The node behind a handle is recycled after the callback fires or the
+// cancellation is collected, so handles carry the node's generation:
+// operations on a handle whose tenure has ended are no-ops, never
+// actions on the node's next occupant.
 type Timer struct {
+	eng *Engine
+	n   *timerNode
+	gen uint32
+	at  time.Duration
+}
+
+// Cancel prevents the timer from firing. Canceling an already-fired,
+// already-canceled, or zero Timer is a no-op.
+func (t Timer) Cancel() {
+	n := t.n
+	if n == nil || n.gen != t.gen || n.canceled {
+		return
+	}
+	n.canceled = true
+	if n.index < 0 {
+		// Already popped: the callback is firing right now and is
+		// canceling itself; nothing remains in the heap to collect.
+		return
+	}
+	e := t.eng
+	e.dead++
+	if e.dead*2 > len(e.timers) && len(e.timers) >= compactThreshold {
+		e.compactTimers()
+	}
+}
+
+// When reports the virtual time at which the timer fires (fired, for
+// handles whose callback already ran).
+func (t Timer) When() time.Duration { return t.at }
+
+// Scheduled reports whether the handle was ever armed: false only for
+// the zero Timer. It does not track firing; use it to distinguish "no
+// timer" from "a timer exists" in structs that arm one conditionally.
+func (t Timer) Scheduled() bool { return t.n != nil }
+
+// timerNode is the engine-owned record behind a Timer handle.
+type timerNode struct {
 	at       time.Duration
 	seq      int64
 	fn       func()
 	canceled bool
-	index    int
+	index    int    // position in the heap; -1 once popped
+	gen      uint32 // tenure counter; bumped on recycle
 }
 
-// Cancel prevents the timer from firing. Canceling an already-fired or
-// already-canceled timer is a no-op.
-func (t *Timer) Cancel() { t.canceled = true }
-
-// When reports the virtual time at which the timer fires.
-func (t *Timer) When() time.Duration { return t.at }
-
-type timerHeap []*Timer
+type timerHeap []*timerNode
 
 func (h timerHeap) Len() int { return len(h) }
 func (h timerHeap) Less(i, j int) bool {
@@ -189,16 +319,16 @@ func (h timerHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *timerHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
+	n := x.(*timerNode)
+	n.index = len(*h)
+	*h = append(*h, n)
 }
 func (h *timerHeap) Pop() any {
 	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+	k := len(old)
+	n := old[k-1]
+	old[k-1] = nil
+	n.index = -1
+	*h = old[:k-1]
+	return n
 }

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineStep measures one scheduling step with a deep run
+// queue: 500 runnable processes all yielding at the same virtual
+// instant, the regime where an O(n) run-queue pop turns every step
+// into a 500-pointer shift. One op is one process resumption.
+func BenchmarkEngineStep(b *testing.B) {
+	const procs = 500
+	e := New(1)
+	e.MaxEvents = int64(b.N)*4 + int64(procs)*8 + 4096
+	perProc := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < perProc; j++ {
+				p.Yield()
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSchedule measures the cost of scheduling one timer that
+// later fires, the dominant allocation site of the engine: every
+// Sleep, timeout, sampling tick, and housekeeping beat mints one.
+func BenchmarkSchedule(b *testing.B) {
+	e := New(1)
+	e.MaxEvents = int64(b.N)*2 + 1024
+	fn := func() {}
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < n; i++ {
+		e.Schedule(time.Duration(i)*time.Nanosecond, fn)
+		if e.timers.Len() >= 1024 {
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleCancel measures the WithTimeout pattern that
+// dominates real workloads: schedule a guard timer, cancel it almost
+// immediately because the guarded work finished first. Without
+// canceled-timer compaction every op leaves a dead entry in the heap
+// until its distant deadline; without a free list every op allocates.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.Schedule(time.Hour, fn)
+		t.Cancel()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.timers.Len()), "heap-len")
+}
+
+// BenchmarkSleepCancelCycle measures the full schedule-then-cancel
+// round trip through a process: a Sleep raced against a context whose
+// deadline never wins, i.e. core.Try's per-attempt timeout pattern.
+func BenchmarkSleepCancelCycle(b *testing.B) {
+	e := New(1)
+	e.MaxEvents = int64(b.N)*16 + 4096
+	n := b.N
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ctx, cancel := p.WithTimeout(e.Context(), time.Hour)
+			_ = p.Sleep(ctx, time.Millisecond)
+			cancel()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

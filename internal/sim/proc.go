@@ -84,7 +84,7 @@ func (p *Proc) wake(err error) {
 	}
 	p.parked = false
 	p.wakeErr = err
-	p.eng.runq = append(p.eng.runq, p)
+	p.eng.pushRun(p)
 }
 
 // Yield gives other runnable processes a chance to run at the current

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleCancelHeapBounded is the regression test for the
+// canceled-timer leak: a schedule/cancel loop (the WithTimeout pattern)
+// must not grow the heap without bound. With majority-dead compaction
+// the heap stays within a small constant factor of the live count.
+func TestScheduleCancelHeapBounded(t *testing.T) {
+	e := New(1)
+	const iters = 100_000
+	maxLen := 0
+	for i := 0; i < iters; i++ {
+		tm := e.Schedule(time.Hour, func() { t.Error("canceled timer fired") })
+		tm.Cancel()
+		if l := e.timers.Len(); l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen > 2*compactThreshold {
+		t.Fatalf("heap grew to %d entries during %d schedule/cancel cycles; want <= %d", maxLen, iters, 2*compactThreshold)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimerHandleGenerations pins the recycle semantics: a handle to a
+// fired timer must stay inert even after its node is reused by a later
+// Schedule, and canceling it must not cancel the node's next occupant.
+func TestTimerHandleGenerations(t *testing.T) {
+	e := New(1)
+	var firstFired, secondFired bool
+	first := e.Schedule(time.Second, func() { firstFired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !firstFired {
+		t.Fatal("first timer did not fire")
+	}
+	// The second Schedule reuses the first timer's node from the free
+	// list; a stale Cancel on the old handle must not touch it.
+	second := e.Schedule(time.Second, func() { secondFired = true })
+	first.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !secondFired {
+		t.Fatal("stale handle Cancel hit the recycled node's next occupant")
+	}
+	if got := second.When(); got != 2*time.Second {
+		t.Fatalf("When() = %v, want 2s", got)
+	}
+	if first.When() != time.Second {
+		t.Fatalf("fired handle When() = %v, want 1s", first.When())
+	}
+}
+
+// TestTimerZeroValueInert pins that the zero Timer is safe to use.
+func TestTimerZeroValueInert(t *testing.T) {
+	var tm Timer
+	tm.Cancel() // must not panic
+	if tm.Scheduled() {
+		t.Fatal("zero Timer reports Scheduled")
+	}
+}
+
+// TestTimerSelfCancelDuringFire pins the context-deadline pattern: a
+// callback canceling its own timer (already popped from the heap) must
+// be a no-op and must not corrupt the dead-entry accounting.
+func TestTimerSelfCancelDuringFire(t *testing.T) {
+	e := New(1)
+	var tm Timer
+	tm = e.Schedule(time.Second, func() { tm.Cancel() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.dead != 0 {
+		t.Fatalf("dead = %d after self-cancel, want 0", e.dead)
+	}
+	if !e.Quiesced() {
+		t.Fatal("engine not quiesced")
+	}
+}
+
+// TestRunQueueRingGrowth exercises ring growth and wraparound: spawn
+// waves of processes larger than the initial ring while the head has
+// advanced, and check FIFO order is preserved.
+func TestRunQueueRingGrowth(t *testing.T) {
+	e := New(1)
+	var order []int
+	for wave := 0; wave < 3; wave++ {
+		w := wave
+		e.Spawn("spawner", func(p *Proc) {
+			for i := 0; i < 40; i++ {
+				id := w*100 + i
+				e.Spawn("c", func(p *Proc) {
+					order = append(order, id)
+				})
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(order) != 120 {
+		t.Fatalf("ran %d procs, want 120", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("run order not FIFO at %d: %d then %d", i, order[i-1], order[i])
+		}
+	}
+}

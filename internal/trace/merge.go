@@ -1,0 +1,51 @@
+package trace
+
+// Merge appends src's processes, threads, and events to t, remapping
+// identifiers so the result is exactly what t would contain had src's
+// clients registered and emitted directly on t, in src's own order.
+// The parallel sweep runner depends on this equivalence: each cell
+// traces into a private tracer, and merging the cell tracers in cell
+// order reproduces, byte for byte, the trace a serial run would have
+// produced on one shared tracer.
+//
+// Concretely: src's process names are interned into t (sharing PIDs
+// with existing processes of the same name), src's threads are
+// appended after t's with their PIDs remapped, span ids are offset by
+// t's span counter, and t's meta is left untouched. src is not
+// modified. Merging t into itself is not supported.
+func (t *Tracer) Merge(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	pidMap := make([]int32, len(src.procs))
+	for i, name := range src.procs {
+		pid, ok := t.procIDs[name]
+		if !ok {
+			pid = int32(len(t.procs))
+			t.procs = append(t.procs, name)
+			t.procIDs[name] = pid
+		}
+		pidMap[i] = pid
+	}
+
+	tidBase := int32(len(t.threads))
+	for _, th := range src.threads {
+		t.threads = append(t.threads, thread{pid: pidMap[th.pid], name: th.name})
+	}
+
+	spanBase := t.spanSeq
+	for _, ev := range src.events {
+		ev.PID = pidMap[ev.PID]
+		ev.TID += tidBase
+		if (ev.Kind == KSpanBegin || ev.Kind == KSpanEnd) && ev.Arg != 0 {
+			ev.Arg += spanBase
+		}
+		t.events = append(t.events, ev)
+	}
+	t.spanSeq += src.spanSeq
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// cellScript emits a deterministic little workload for one "cell" —
+// two disciplines, two clients, spans, and every remapped field
+// (PID, TID, span Arg) exercised — onto whatever tracer it is given.
+func cellScript(tr *Tracer, cell int) {
+	clk := func(at time.Duration) func() time.Duration {
+		return func() time.Duration { return at }
+	}
+	base := time.Duration(cell) * time.Second
+	a := tr.NewClient("ethernet", "client-0", clk(base))
+	b := tr.NewClient("aloha", "client-1", clk(base+time.Millisecond))
+	c := tr.NewClient("ethernet", "client-2", clk(base+2*time.Millisecond))
+
+	id := a.SpanBegin("attempt-loop")
+	a.Probe("cpu")
+	a.CarrierSense("cpu", cell%2 == 0)
+	a.Attempt()
+	a.Collision("cpu")
+	a.BackoffStart(time.Duration(cell+1)*time.Millisecond, "collision")
+	a.BackoffEnd()
+	a.SpanEnd(id)
+
+	id2 := b.SpanBegin("try")
+	b.Acquire("disk", int64(cell+1))
+	b.Release("disk", int64(cell+1))
+	b.SpanEnd(id2)
+
+	c.Attempt()
+	c.Success()
+}
+
+// TestMergeMatchesSharedTracer is the load-bearing equivalence behind
+// the parallel sweep runner: per-cell tracers merged in cell order
+// must be byte-identical (JSONL, Chrome, and summary) to the same
+// cells emitting sequentially on one shared tracer.
+func TestMergeMatchesSharedTracer(t *testing.T) {
+	const cells = 4
+	meta := Meta{Seed: 7, Scenario: "merge-test", Plan: "mixed", PlanSeed: 9}
+
+	shared := New()
+	shared.SetMeta(meta)
+	for i := 0; i < cells; i++ {
+		cellScript(shared, i)
+	}
+
+	merged := New()
+	merged.SetMeta(meta)
+	for i := 0; i < cells; i++ {
+		cell := New()
+		cellScript(cell, i)
+		merged.Merge(cell)
+	}
+
+	var wantJSONL, gotJSONL bytes.Buffer
+	if err := shared.WriteJSONL(&wantJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSONL(&gotJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if wantJSONL.String() != gotJSONL.String() {
+		t.Errorf("JSONL drifted between shared and merged tracers.\nshared:\n%s\nmerged:\n%s",
+			wantJSONL.String(), gotJSONL.String())
+	}
+
+	var wantChrome, gotChrome bytes.Buffer
+	if err := shared.WriteChrome(&wantChrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteChrome(&gotChrome); err != nil {
+		t.Fatal(err)
+	}
+	if wantChrome.String() != gotChrome.String() {
+		t.Error("Chrome export drifted between shared and merged tracers")
+	}
+
+	var wantSum, gotSum bytes.Buffer
+	if err := WriteSummary(&wantSum, Analyze(shared)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSummary(&gotSum, Analyze(merged)); err != nil {
+		t.Fatal(err)
+	}
+	if wantSum.String() != gotSum.String() {
+		t.Errorf("summary drifted.\nshared:\n%s\nmerged:\n%s", wantSum.String(), gotSum.String())
+	}
+}
+
+// TestMergeRemapsIdentifiers pins the mechanics: PID interning, TID
+// offsetting, and span-id offsetting across a merge boundary.
+func TestMergeRemapsIdentifiers(t *testing.T) {
+	dst := New()
+	cellScript(dst, 0)
+	src := New()
+	cellScript(src, 1)
+	dstSpans := dst.spanSeq
+	dst.Merge(src)
+
+	if got, want := len(dst.Procs()), 2; got != want {
+		t.Fatalf("procs = %d (%v), want %d (names interned)", got, dst.Procs(), want)
+	}
+	if got, want := len(dst.threads), 6; got != want {
+		t.Fatalf("threads = %d, want %d", got, want)
+	}
+	// The merged copy of src's first thread must point at the interned
+	// "ethernet" PID (0 in dst), not src's local PID.
+	if th := dst.threads[3]; th.pid != 0 || th.name != "client-0" {
+		t.Fatalf("merged thread = %+v, want pid 0 name client-0", th)
+	}
+	for _, ev := range dst.Events()[len(src.Events()):] {
+		if ev.Kind == KSpanBegin && ev.Arg <= dstSpans {
+			t.Fatalf("merged span id %d not offset past dst's %d", ev.Arg, dstSpans)
+		}
+	}
+	if dst.spanSeq != dstSpans+src.spanSeq {
+		t.Fatalf("spanSeq = %d, want %d", dst.spanSeq, dstSpans+src.spanSeq)
+	}
+	// src must be untouched.
+	if src.Events()[0].TID != 0 {
+		t.Fatal("Merge mutated src events")
+	}
+}
+
+// TestMergeNilSafe pins that nil receivers and nil sources are no-ops.
+func TestMergeNilSafe(t *testing.T) {
+	var nilT *Tracer
+	nilT.Merge(New()) // must not panic
+	dst := New()
+	dst.Merge(nil)
+	if dst.Len() != 0 {
+		t.Fatal("merging nil added events")
+	}
+}

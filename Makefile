@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke golden ci
 
 all: build
 
@@ -44,9 +44,18 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run FuzzLex -fuzz FuzzLex -fuzztime $(FUZZTIME) ./internal/ftsh/lexer
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ftsh/parser
+	$(GO) test -run FuzzInterp -fuzz FuzzInterp -fuzztime $(FUZZTIME) ./internal/ftsh/interp
+
+# Differential sim-vs-live validation: every scenario's ordering claims
+# (Ethernet >= Aloha >= Fixed, carrier floor, lease no-starvation) and
+# the trace grammar, asserted on both backends across three seeds. The
+# live arms run wall-clock time under compression, so this target takes
+# tens of seconds, not milliseconds.
+diff-smoke:
+	$(GO) test ./internal/expt -run TestDiff -count=1
 
 # Rewrite the gridbench golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race-core race bench-smoke fuzz-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke

@@ -141,7 +141,7 @@ func benchBuffer(b *testing.B, collisions bool) {
 // runBufferCell is a single (discipline, producers) buffer experiment.
 func runBufferCell(seed int64, d core.Discipline, producers int, window time.Duration) *fsbuffer.Buffer {
 	e := sim.New(seed)
-	buf := fsbuffer.New(e, fsbuffer.Config{})
+	buf := fsbuffer.New(e.RT(), fsbuffer.Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	e.Spawn("consumer", func(p *sim.Proc) { buf.Consumer(p, ctx) })
@@ -237,7 +237,7 @@ func BenchmarkAblationBackoffCap(b *testing.B) {
 			var jobs, crashes int64
 			for i := 0; i < b.N; i++ {
 				e := sim.New(int64(i + 1))
-				cl := condor.NewCluster(e, clCfg)
+				cl := condor.NewCluster(e.RT(), clCfg)
 				ctx, cancel := e.WithTimeout(e.Context(), window)
 				cl.StartHousekeeping(ctx)
 				for j := 0; j < n; j++ {
@@ -446,7 +446,7 @@ func BenchmarkDAGWorkload(b *testing.B) {
 			var makespan, abandoned, crashes, bgJobs float64
 			for i := 0; i < b.N; i++ {
 				e := sim.New(int64(i + 1))
-				cl := condor.NewCluster(e, condor.Config{FDCapacity: 2048})
+				cl := condor.NewCluster(e.RT(), condor.Config{FDCapacity: 2048})
 				ctx, cancel := e.WithTimeout(e.Context(), 2*time.Hour)
 				cl.StartHousekeeping(ctx)
 				// Background load: enough Aloha clients to keep the
@@ -500,8 +500,8 @@ func BenchmarkBaselineReservation(b *testing.B) {
 		var consumed, denials float64
 		for i := 0; i < b.N; i++ {
 			e := sim.New(int64(i + 1))
-			buf := fsbuffer.New(e, cfg)
-			alloc := fsbuffer.NewAllocator(e, buf, grant)
+			buf := fsbuffer.New(e.RT(), cfg)
+			alloc := fsbuffer.NewAllocator(e.RT(), buf, grant)
 			ctx, cancel := e.WithTimeout(e.Context(), window)
 			e.Spawn("consumer", func(p *sim.Proc) { buf.Consumer(p, ctx) })
 			for j := 0; j < producers; j++ {
@@ -528,7 +528,7 @@ func BenchmarkBaselineReservation(b *testing.B) {
 		var consumed, collisions float64
 		for i := 0; i < b.N; i++ {
 			e := sim.New(int64(i + 1))
-			buf := fsbuffer.New(e, cfg)
+			buf := fsbuffer.New(e.RT(), cfg)
 			ctx, cancel := e.WithTimeout(e.Context(), window)
 			e.Spawn("consumer", func(p *sim.Proc) { buf.Consumer(p, ctx) })
 			for j := 0; j < producers; j++ {

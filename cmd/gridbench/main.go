@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gridbench [-fig N|la] [-seed S] [-scale F] [-format table|tsv]
+//	          [-backend sim|live] [-timescale F]
 //	          [-parallel N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
 //	          [-cpuprofile FILE] [-memprofile FILE]
@@ -22,6 +23,15 @@
 // squeeze), deterministically scheduled from -chaos-seed. -check runs
 // the invariant-checker suite alongside every figure and fails the run
 // if any safety or liveness property is violated.
+//
+// -backend selects the execution engine: "sim" (the default) is the
+// deterministic discrete-event simulator, whose output is byte-for-byte
+// reproducible per seed; "live" runs the identical scenarios on real
+// goroutines and wall-clock timers under compressed time (-timescale
+// virtual seconds per real second, default 1000). Live runs exercise
+// real scheduler interleavings, so their numbers vary run to run —
+// compare them to sim output with the tolerance-band methodology in
+// EXPERIMENTS.md, not byte-wise.
 //
 // -parallel runs the sweep figures' independent simulation cells on N
 // workers (0, the default, means GOMAXPROCS; 1 forces the serial
@@ -69,6 +79,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
 	format := fs.String("format", "table", "output format: table or tsv")
+	backend := fs.String("backend", expt.BackendSim, "execution backend: sim (deterministic) or live (wall clock, compressed time)")
+	timescale := fs.Float64("timescale", 0, "live backend only: virtual seconds per real second (0 = default "+fmt.Sprint(expt.DefaultTimescale)+")")
 	chaosName := fs.String("chaos", "", "fault-injection plan to run the figures under ("+strings.Join(chaos.Names(), ", ")+")")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the fault plan's schedule (default: -seed)")
 	check := fs.Bool("check", false, "run the invariant-checker suite alongside every figure")
@@ -88,6 +100,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
 		fmt.Fprintf(stderr, "gridbench: unknown trace format %q (want jsonl or chrome)\n", *traceFormat)
+		return 2
+	}
+	if *backend != expt.BackendSim && *backend != expt.BackendLive {
+		fmt.Fprintf(stderr, "gridbench: unknown backend %q (want sim or live)\n", *backend)
+		return 2
+	}
+	if *timescale < 0 {
+		fmt.Fprintf(stderr, "gridbench: negative timescale %v (want > 0, or 0 for the default)\n", *timescale)
+		return 2
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(stderr, "gridbench: negative parallel %d (want 0 for GOMAXPROCS, or a worker count)\n", *parallel)
 		return 2
 	}
 	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
@@ -123,7 +147,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel}
+	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Backend: *backend, Timescale: *timescale}
 	if *chaosName != "" {
 		cs := *chaosSeed
 		if cs == 0 {

@@ -49,6 +49,41 @@ func TestBadFormat(t *testing.T) {
 	}
 }
 
+func TestBadBackend(t *testing.T) {
+	code, _, errOut := cli(t, "-backend", "quantum")
+	if code != 2 || !strings.Contains(errOut, "unknown backend") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestNegativeParallel(t *testing.T) {
+	code, _, errOut := cli(t, "-parallel", "-3")
+	if code != 2 || !strings.Contains(errOut, "negative parallel") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestNegativeTimescale(t *testing.T) {
+	code, _, errOut := cli(t, "-timescale", "-10")
+	if code != 2 || !strings.Contains(errOut, "negative timescale") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestLiveBackendSingleFigure(t *testing.T) {
+	// One scenario end-to-end on the wall-clock backend, heavily
+	// compressed so the 900-virtual-second reader window stays fast.
+	code, out, errOut := cli(t, "-backend", "live", "-timescale", "20000", "-fig", "7", "-scale", "0.2")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{"Figure 7", "transfers", "totals:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("out missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	code, _, _ := cli(t, "-bogus")
 	if code != 2 {

@@ -36,7 +36,7 @@ func main() {
 // buffer and returns the buffer for inspection.
 func run(d core.Discipline) *fsbuffer.Buffer {
 	e := sim.New(21)
-	b := fsbuffer.New(e, fsbuffer.Config{})
+	b := fsbuffer.New(e.RT(), fsbuffer.Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), 10*time.Minute)
 	defer cancel()
 	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })

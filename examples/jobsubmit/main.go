@@ -67,7 +67,7 @@ func run(script string) (jobs, crashes int64) {
 	e := sim.New(7)
 	// A small FD table so 100 clients are enough to saturate it; the
 	// script's 1000-FD threshold stays the same as the paper's.
-	cl := condor.NewCluster(e, condor.Config{FDCapacity: 1600})
+	cl := condor.NewCluster(e.RT(), condor.Config{FDCapacity: 1600})
 	ctx, cancel := e.WithTimeout(e.Context(), 10*time.Minute)
 	defer cancel()
 	cl.StartHousekeeping(ctx)

@@ -64,9 +64,9 @@ func run(script string) (string, time.Duration) {
 	e := sim.New(5)
 	cfg := replica.Config{}
 	servers := map[string]*replica.Server{
-		"xxx": replica.NewServer(e, "xxx", true, cfg), // black hole
-		"yyy": replica.NewServer(e, "yyy", false, cfg),
-		"zzz": replica.NewServer(e, "zzz", false, cfg),
+		"xxx": replica.NewServer(e.RT(), "xxx", true, cfg), // black hole
+		"yyy": replica.NewServer(e.RT(), "yyy", false, cfg),
+		"zzz": replica.NewServer(e.RT(), "zzz", false, cfg),
 	}
 
 	runner := proc.NewMapRunner()

@@ -28,7 +28,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsbuffer"
 	"repro/internal/replica"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -340,7 +339,7 @@ type siteWindow struct {
 // substrates' failure sites consult it for the rest of the run.
 type Armed struct {
 	plan    *Plan
-	eng     *sim.Engine
+	eng     core.Backend
 	rng     *rand.Rand
 	windows map[string][]*siteWindow
 	tr      *trace.Client
@@ -359,7 +358,7 @@ type Armed struct {
 // injector on every non-nil target substrate, and returns it. Arm must
 // be called before e.Run (or under the engine token). Identical plans,
 // seeds, and targets always produce identical schedules.
-func (p *Plan) Arm(e *sim.Engine, t Targets) *Armed {
+func (p *Plan) Arm(e core.Backend, t Targets) *Armed {
 	seed := p.Seed
 	if seed == 0 {
 		seed = 1

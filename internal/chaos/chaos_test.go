@@ -29,7 +29,7 @@ func TestErrorBurstWindowing(t *testing.T) {
 	p := &Plan{Name: "t", Seed: 7, Specs: []Spec{
 		ErrorBurst{Window: Window{Start: 10 * time.Second, Duration: 10 * time.Second}, Site: "s", Prob: 1},
 	}}
-	a := p.Arm(e, Targets{Window: time.Minute})
+	a := p.Arm(e.RT(), Targets{Window: time.Minute})
 	got := probe(e, a, "s", 5*time.Second, 15*time.Second, 25*time.Second)
 	if !got[0].Zero() || !got[2].Zero() {
 		t.Errorf("faults outside the window: %+v %+v", got[0], got[2])
@@ -47,7 +47,7 @@ func TestErrorBurstMissesOtherSites(t *testing.T) {
 	p := &Plan{Name: "t", Seed: 7, Specs: []Spec{
 		ErrorBurst{Window: Window{Start: 0, Duration: time.Minute}, Site: "s", Prob: 1},
 	}}
-	a := p.Arm(e, Targets{Window: time.Minute})
+	a := p.Arm(e.RT(), Targets{Window: time.Minute})
 	got := probe(e, a, "other", 5*time.Second)
 	if !got[0].Zero() {
 		t.Errorf("fault leaked to an unrelated site: %+v", got[0])
@@ -60,7 +60,7 @@ func TestLatencySpikeAddsDelay(t *testing.T) {
 		LatencySpike{Window: Window{Start: 0, Duration: 30 * time.Second}, Site: "s",
 			Extra: 2 * time.Second, Jitter: time.Second},
 	}}
-	a := p.Arm(e, Targets{Window: time.Minute})
+	a := p.Arm(e.RT(), Targets{Window: time.Minute})
 	got := probe(e, a, "s", 5*time.Second, 45*time.Second)
 	if got[0].Err != nil || got[0].Delay < 2*time.Second || got[0].Delay >= 3*time.Second {
 		t.Errorf("in-window fault = %+v, want delay in [2s,3s)", got[0])
@@ -75,7 +75,7 @@ func TestFractionalWindowResolvesAgainstHorizon(t *testing.T) {
 	p := &Plan{Name: "t", Seed: 7, Specs: []Spec{
 		ErrorBurst{Window: Window{FracStart: 0.5, FracDuration: 0.25}, Site: "s", Prob: 1},
 	}}
-	a := p.Arm(e, Targets{Window: 100 * time.Second})
+	a := p.Arm(e.RT(), Targets{Window: 100 * time.Second})
 	got := probe(e, a, "s", 40*time.Second, 60*time.Second, 80*time.Second)
 	if !got[0].Zero() || got[1].Err == nil || !got[2].Zero() {
 		t.Errorf("fractional window misplaced: %+v", got)
@@ -89,7 +89,7 @@ func TestSameSeedSameSchedule(t *testing.T) {
 			ErrorBurst{Window: Window{Start: 0, Duration: time.Minute, StartJitter: 5 * time.Second},
 				Site: "s", Prob: 0.5},
 		}}
-		a := p.Arm(e, Targets{Window: time.Minute})
+		a := p.Arm(e.RT(), Targets{Window: time.Minute})
 		var at []time.Duration
 		for i := 1; i <= 40; i++ {
 			at = append(at, time.Duration(i)*time.Second)
@@ -109,7 +109,7 @@ func TestSameSeedSameSchedule(t *testing.T) {
 		ErrorBurst{Window: Window{Start: 0, Duration: time.Minute, StartJitter: 5 * time.Second},
 			Site: "s", Prob: 0.5},
 	}}
-	arm := p.Arm(e, Targets{Window: time.Minute})
+	arm := p.Arm(e.RT(), Targets{Window: time.Minute})
 	var at []time.Duration
 	for i := 1; i <= 40; i++ {
 		at = append(at, time.Duration(i)*time.Second)
@@ -129,11 +129,11 @@ func TestSameSeedSameSchedule(t *testing.T) {
 
 func TestFDSqueezeShrinksAndRestores(t *testing.T) {
 	e := sim.New(1)
-	cl := condor.NewCluster(e, condor.Config{FDCapacity: 1000})
+	cl := condor.NewCluster(e.RT(), condor.Config{FDCapacity: 1000})
 	p := &Plan{Name: "t", Seed: 1, Specs: []Spec{
 		FDSqueeze{Window: Window{Start: 10 * time.Second, Duration: 10 * time.Second}, Factor: 0.25},
 	}}
-	a := p.Arm(e, Targets{Window: time.Minute, Cluster: cl})
+	a := p.Arm(e.RT(), Targets{Window: time.Minute, Cluster: cl})
 	var during, after int
 	e.Schedule(15*time.Second, func() { during = cl.FDs.Capacity() })
 	e.Schedule(25*time.Second, func() { after = cl.FDs.Capacity() })
@@ -154,14 +154,14 @@ func TestFDSqueezeShrinksAndRestores(t *testing.T) {
 func TestServerFlapTogglesAndRestores(t *testing.T) {
 	e := sim.New(1)
 	servers := []*replica.Server{
-		replica.NewServer(e, "a", false, replica.Config{}),
-		replica.NewServer(e, "b", false, replica.Config{}),
+		replica.NewServer(e.RT(), "a", false, replica.Config{}),
+		replica.NewServer(e.RT(), "b", false, replica.Config{}),
 	}
 	p := &Plan{Name: "t", Seed: 1, Specs: []Spec{
 		ServerFlap{Window: Window{Start: 10 * time.Second, Duration: 20 * time.Second},
 			Server: 1, Period: 5 * time.Second},
 	}}
-	p.Arm(e, Targets{Window: time.Minute, Servers: servers})
+	p.Arm(e.RT(), Targets{Window: time.Minute, Servers: servers})
 	var sick, healthy, other bool
 	e.Schedule(12*time.Second, func() { sick = servers[1].BlackHole; other = servers[0].BlackHole })
 	e.Schedule(17*time.Second, func() { healthy = !servers[1].BlackHole })
@@ -183,11 +183,11 @@ func TestServerFlapTogglesAndRestores(t *testing.T) {
 
 func TestScheddCrashKillsOnSchedule(t *testing.T) {
 	e := sim.New(1)
-	cl := condor.NewCluster(e, condor.Config{})
+	cl := condor.NewCluster(e.RT(), condor.Config{})
 	p := &Plan{Name: "t", Seed: 1, Specs: []Spec{
 		ScheddCrash{At: 10 * time.Second, Every: 40 * time.Second, Count: 3},
 	}}
-	p.Arm(e, Targets{Window: 2 * time.Minute, Cluster: cl})
+	p.Arm(e.RT(), Targets{Window: 2 * time.Minute, Cluster: cl})
 	var downAt, upAt bool
 	e.Schedule(11*time.Second, func() { downAt = cl.Schedd.Down() })
 	e.Schedule(45*time.Second, func() { upAt = !cl.Schedd.Down() }) // restarted after 30s
@@ -218,7 +218,7 @@ func TestPresets(t *testing.T) {
 		// Every preset must arm against every scenario shape without
 		// panicking, including one with no targets at all.
 		e := sim.New(1)
-		p.Arm(e, Targets{Window: time.Minute})
+		p.Arm(e.RT(), Targets{Window: time.Minute})
 		if err := e.Run(); err != nil {
 			t.Errorf("empty-target arm of %q: %v", n, err)
 		}
@@ -235,7 +235,7 @@ func TestSummaryIsDeterministic(t *testing.T) {
 			ErrorBurst{Window: Window{Start: 0, Duration: time.Minute}, Site: "x", Prob: 1},
 			LatencySpike{Window: Window{Start: 0, Duration: time.Minute}, Site: "y", Extra: time.Second},
 		}}
-		a := p.Arm(e, Targets{Window: time.Minute})
+		a := p.Arm(e.RT(), Targets{Window: time.Minute})
 		probe(e, a, "x", time.Second, 2*time.Second)
 		// probe quiesces the engine; drive site y with a fresh timer set.
 		e.Schedule(0, func() { a.Inject("y") })

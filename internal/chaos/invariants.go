@@ -6,8 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/sim"
 )
 
 // This file is the invariant-checker layer: mechanical assertions of
@@ -75,7 +75,7 @@ func (r *Recorder) Err() error {
 // virtual-time tick. Construct with NewInvariants, register checks,
 // call Start before the run and Finish after Run returns.
 type Invariants struct {
-	eng   *sim.Engine
+	eng   core.Backend
 	rec   *Recorder
 	every time.Duration
 
@@ -89,7 +89,7 @@ const DefaultSampleEvery = time.Second
 // NewInvariants returns a checker sampling every sampleEvery of virtual
 // time ( <= 0 selects DefaultSampleEvery), recording violations into
 // rec (nil allocates a private recorder, readable via Recorder()).
-func NewInvariants(e *sim.Engine, rec *Recorder, sampleEvery time.Duration) *Invariants {
+func NewInvariants(e core.Backend, rec *Recorder, sampleEvery time.Duration) *Invariants {
 	if rec == nil {
 		rec = &Recorder{}
 	}

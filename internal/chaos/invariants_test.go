@@ -23,7 +23,7 @@ func runFor(t *testing.T, e *sim.Engine, window time.Duration) {
 func TestMonotoneDetectsDecrease(t *testing.T) {
 	e := sim.New(1)
 	rec := &Recorder{}
-	inv := NewInvariants(e, rec, time.Second)
+	inv := NewInvariants(e.RT(), rec, time.Second)
 	v := 0.0
 	inv.Monotone("jobs", func() float64 { return v })
 	e.Schedule(1500*time.Millisecond, func() { v = 10 })
@@ -43,7 +43,7 @@ func TestMonotoneDetectsDecrease(t *testing.T) {
 
 func TestMonotonePassesOnIncrease(t *testing.T) {
 	e := sim.New(1)
-	inv := NewInvariants(e, nil, time.Second)
+	inv := NewInvariants(e.RT(), nil, time.Second)
 	v := 0.0
 	inv.Monotone("jobs", func() float64 { return v })
 	for i := 1; i <= 4; i++ {
@@ -63,7 +63,7 @@ func TestMonotonePassesOnIncrease(t *testing.T) {
 func TestCarrierFloorFlagsSustainedExcursion(t *testing.T) {
 	e := sim.New(1)
 	rec := &Recorder{}
-	inv := NewInvariants(e, rec, time.Second)
+	inv := NewInvariants(e.RT(), rec, time.Second)
 	free := 100
 	inv.CarrierFloor("fds", func() int { return free }, func() int { return 50 }, 5*time.Second)
 	e.Schedule(10*time.Second, func() { free = 10 }) // sustained dip, never recovers
@@ -86,7 +86,7 @@ func TestCarrierFloorFlagsSustainedExcursion(t *testing.T) {
 func TestCarrierFloorToleratesBriefDip(t *testing.T) {
 	e := sim.New(1)
 	rec := &Recorder{}
-	inv := NewInvariants(e, rec, time.Second)
+	inv := NewInvariants(e.RT(), rec, time.Second)
 	free := 100
 	inv.CarrierFloor("fds", func() int { return free }, func() int { return 50 }, 5*time.Second)
 	e.Schedule(10*time.Second, func() { free = 10 })
@@ -104,7 +104,7 @@ func TestCarrierFloorToleratesBriefDip(t *testing.T) {
 func TestHorizonFlagsEarlyQuiesce(t *testing.T) {
 	e := sim.New(1)
 	rec := &Recorder{}
-	inv := NewInvariants(e, rec, time.Second)
+	inv := NewInvariants(e.RT(), rec, time.Second)
 	inv.Horizon(time.Minute)
 	// No work scheduled beyond 10s: the "run" deadlocks early.
 	runFor(t, e, 10*time.Second)
@@ -120,7 +120,7 @@ func TestHorizonFlagsEarlyQuiesce(t *testing.T) {
 func TestEventBudgetFlagsLivelock(t *testing.T) {
 	e := sim.New(1)
 	rec := &Recorder{}
-	inv := NewInvariants(e, rec, time.Second)
+	inv := NewInvariants(e.RT(), rec, time.Second)
 	inv.EventBudget(100)
 	// Spin thousands of zero-advance events inside one tick.
 	var spin func(n int)
@@ -147,7 +147,7 @@ func TestEventBudgetFlagsLivelock(t *testing.T) {
 func TestSeriesMonotoneFinal(t *testing.T) {
 	e := sim.New(1)
 	rec := &Recorder{}
-	inv := NewInvariants(e, rec, time.Second)
+	inv := NewInvariants(e.RT(), rec, time.Second)
 	s := metrics.NewSeries("jobs")
 	s.Add(0, 1)
 	s.Add(time.Second, 5)

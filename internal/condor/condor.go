@@ -24,7 +24,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lease"
-	"repro/internal/sim"
 )
 
 // Config parameterizes the cluster. Zero fields take defaults chosen so
@@ -163,7 +162,7 @@ func NewFDTable(capacity int) *FDTable {
 
 // NewLeasedFDTable returns a table on engine e whose holds are leases
 // with the given tenure quantum (0 = unlimited, the legacy behavior).
-func NewLeasedFDTable(e *sim.Engine, capacity int, quantum time.Duration) *FDTable {
+func NewLeasedFDTable(e core.Backend, capacity int, quantum time.Duration) *FDTable {
 	return &FDTable{m: lease.New(e, "fds", int64(capacity), quantum)}
 }
 
@@ -202,7 +201,7 @@ func (t *FDTable) Release(n int) {
 // Lease takes n descriptors as a lease held by holder, reporting
 // success. Like TryAcquire it never queues — an EMFILE-style immediate
 // failure — but a grant is tenure-bounded by the table's quantum.
-func (t *FDTable) Lease(p *sim.Proc, ctx context.Context, holder string, n int) (*lease.Lease, bool) {
+func (t *FDTable) Lease(p core.Proc, ctx context.Context, holder string, n int) (*lease.Lease, bool) {
 	return t.m.TryAcquire(p, ctx, holder, int64(n))
 }
 
@@ -247,13 +246,13 @@ var (
 
 // Schedd is the simulated Condor scheduler daemon.
 type Schedd struct {
-	eng  *sim.Engine
+	eng  core.Backend
 	cfg  Config
 	fds  *FDTable
 	inj  core.Injector
 	down bool
 
-	slots *sim.Resource
+	slots core.Resource
 
 	// conns maps live connection ids to their abort functions, so a
 	// crash can reset every client at once.
@@ -267,21 +266,21 @@ type Schedd struct {
 
 // Cluster bundles the shared FD table and the schedd.
 type Cluster struct {
-	Eng    *sim.Engine
+	Eng    core.Backend
 	Cfg    Config
 	FDs    *FDTable
 	Schedd *Schedd
 }
 
 // NewCluster builds the scenario substrate on engine e.
-func NewCluster(e *sim.Engine, cfg Config) *Cluster {
+func NewCluster(e core.Backend, cfg Config) *Cluster {
 	cfg.fillDefaults()
 	fds := NewLeasedFDTable(e, cfg.FDCapacity, cfg.LeaseQuantum)
 	s := &Schedd{
 		eng:   e,
 		cfg:   cfg,
 		fds:   fds,
-		slots: sim.NewResource(e, "schedd-slots", cfg.ServiceSlots),
+		slots: e.NewResource("schedd-slots", cfg.ServiceSlots),
 		conns: make(map[int64]context.CancelFunc),
 	}
 	return &Cluster{Eng: e, Cfg: cfg, FDs: fds, Schedd: s}
@@ -325,7 +324,7 @@ func (c *Cluster) StartHousekeeping(ctx context.Context) {
 // Submit performs one submission attempt from process p. It returns nil
 // when the job lands in the queue; any error is a collision (the
 // resource was touched and contention or breakage was discovered).
-func (s *Schedd) Submit(p *sim.Proc, ctx context.Context) error {
+func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}

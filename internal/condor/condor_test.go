@@ -38,7 +38,7 @@ func TestFDTableUnderflowPanics(t *testing.T) {
 
 func TestSingleSubmitSucceeds(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{})
+	cl := NewCluster(e.RT(), Config{})
 	var err error
 	e.Spawn("sub", func(p *sim.Proc) {
 		err = cl.Schedd.Submit(p, e.Context())
@@ -63,7 +63,7 @@ func TestSingleSubmitSucceeds(t *testing.T) {
 
 func TestSubmitFailsWhenFDsExhausted(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{FDCapacity: 100, ClientFDs: 90, ClientFDJitter: -1})
+	cl := NewCluster(e.RT(), Config{FDCapacity: 100, ClientFDs: 90, ClientFDJitter: -1})
 	cl.FDs.TryAcquire(20) // someone else holds 20
 	var err error
 	e.Spawn("sub", func(p *sim.Proc) {
@@ -84,7 +84,7 @@ func TestScheddCrashOnFDExhaustionResetsClients(t *testing.T) {
 	e := sim.New(1)
 	// Room for exactly one client's FDs + schedd conn; the second client
 	// triggers a crash when the schedd can't allocate its side.
-	cl := NewCluster(e, Config{
+	cl := NewCluster(e.RT(), Config{
 		FDCapacity: 40, ClientFDs: 16, ClientFDJitter: -1, ScheddFDs: 8,
 		ServiceSlots: 1, ServiceTime: 10 * time.Second,
 	})
@@ -116,7 +116,7 @@ func TestScheddCrashOnFDExhaustionResetsClients(t *testing.T) {
 
 func TestScheddRestartsAfterDelay(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{RestartDelay: 30 * time.Second})
+	cl := NewCluster(e.RT(), Config{RestartDelay: 30 * time.Second})
 	cl.Schedd.crash()
 	var err1, err2 error
 	e.Spawn("sub", func(p *sim.Proc) {
@@ -137,7 +137,7 @@ func TestScheddRestartsAfterDelay(t *testing.T) {
 
 func TestSubmitHonorsCallerTimeout(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{ServiceSlots: 1, ServiceTime: time.Hour})
+	cl := NewCluster(e.RT(), Config{ServiceSlots: 1, ServiceTime: time.Hour})
 	// First client occupies the only slot for an hour; second times out
 	// while queued.
 	var err error
@@ -160,7 +160,7 @@ func TestSubmitHonorsCallerTimeout(t *testing.T) {
 
 func TestSubmitterLoopCountsJobs(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{})
+	cl := NewCluster(e.RT(), Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), 60*time.Second)
 	defer cancel()
 	var sub Submitter
@@ -181,7 +181,7 @@ func TestSubmitterLoopCountsJobs(t *testing.T) {
 
 func TestEthernetSubmitterDefersUnderFDPressure(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{FDCapacity: 2000})
+	cl := NewCluster(e.RT(), Config{FDCapacity: 2000})
 	cl.FDs.TryAcquire(1500) // free = 500 < threshold 1000
 	e.Schedule(30*time.Second, func() { cl.FDs.Release(1500) })
 	ctx, cancel := e.WithTimeout(e.Context(), 60*time.Second)
@@ -214,7 +214,7 @@ func TestQuickNoFDLeak(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		n := int(nRaw%12) + 1
 		e := sim.New(seed)
-		cl := NewCluster(e, Config{
+		cl := NewCluster(e.RT(), Config{
 			FDCapacity: 120, ClientFDs: 16, ScheddFDs: 4,
 			ServiceSlots: 2, ServiceTime: 2 * time.Second,
 			RestartDelay: 5 * time.Second,

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 )
 
 // This file implements the workload §5 motivates scenario one with:
@@ -160,7 +159,7 @@ type Dispatcher struct {
 
 // Run dispatches the DAG until every node completes or ctx is
 // canceled. It returns nil on full completion.
-func (disp *Dispatcher) Run(p *sim.Proc, ctx context.Context, cl *Cluster, dag *DAG, cfg DispatcherConfig) error {
+func (disp *Dispatcher) Run(p core.Proc, ctx context.Context, cl *Cluster, dag *DAG, cfg DispatcherConfig) error {
 	start := p.Elapsed()
 	defer func() { disp.Makespan = p.Elapsed() - start }()
 	client := &core.Client{
@@ -201,7 +200,7 @@ func (disp *Dispatcher) Run(p *sim.Proc, ctx context.Context, cl *Cluster, dag *
 			n.submitted = true
 			d := cfg.ExecTime
 			d += time.Duration(float64(d) * cfg.ExecJitter * (2*p.Rand() - 1))
-			p.Engine().Schedule(d, func() { dag.complete(n) })
+			p.Schedule(d, func() { dag.complete(n) })
 		}
 	}
 	return nil

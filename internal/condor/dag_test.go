@@ -61,7 +61,7 @@ func TestDAGReadyRespectsDependencies(t *testing.T) {
 
 func TestDispatcherCompletesDAG(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{})
+	cl := NewCluster(e.RT(), Config{})
 	rng := rand.New(rand.NewSource(2))
 	dag := LayeredDAG(rng, 3, 4, 2)
 	ctx, cancel := e.WithTimeout(e.Context(), 2*time.Hour)
@@ -93,7 +93,7 @@ func TestDispatcherSurvivesScheddCrashes(t *testing.T) {
 	e := sim.New(3)
 	// A cramped cluster: the dispatcher's submissions themselves cannot
 	// crash it, so crash it externally a few times.
-	cl := NewCluster(e, Config{RestartDelay: 20 * time.Second})
+	cl := NewCluster(e.RT(), Config{RestartDelay: 20 * time.Second})
 	for _, at := range []time.Duration{10 * time.Second, 90 * time.Second} {
 		e.Schedule(at, func() { cl.Schedd.crash() })
 	}
@@ -119,7 +119,7 @@ func TestDispatcherSurvivesScheddCrashes(t *testing.T) {
 
 func TestDispatcherHonorsContext(t *testing.T) {
 	e := sim.New(1)
-	cl := NewCluster(e, Config{RestartDelay: 24 * time.Hour})
+	cl := NewCluster(e.RT(), Config{RestartDelay: 24 * time.Hour})
 	cl.Schedd.crash() // down for the whole window
 	rng := rand.New(rand.NewSource(5))
 	dag := LayeredDAG(rng, 2, 2, 1)
@@ -148,7 +148,7 @@ func TestQuickDAGDependencyOrder(t *testing.T) {
 		layers := int(layersRaw%3) + 1
 		width := int(widthRaw%3) + 1
 		e := sim.New(seed)
-		cl := NewCluster(e, Config{})
+		cl := NewCluster(e.RT(), Config{})
 		rng := rand.New(rand.NewSource(seed))
 		dag := LayeredDAG(rng, layers, width, 2)
 		ctx, cancel := e.WithTimeout(e.Context(), 3*time.Hour)

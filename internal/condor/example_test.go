@@ -15,7 +15,7 @@ import (
 func Example() {
 	for _, d := range []core.Discipline{core.Aloha, core.Ethernet} {
 		e := sim.New(1)
-		cl := condor.NewCluster(e, condor.Config{FDCapacity: 1024})
+		cl := condor.NewCluster(e.RT(), condor.Config{FDCapacity: 1024})
 		ctx, cancel := e.WithTimeout(e.Context(), 5*time.Minute)
 		cl.StartHousekeeping(ctx)
 		cfg := condor.DefaultSubmitterConfig(d)

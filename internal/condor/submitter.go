@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -54,7 +53,7 @@ type Submitter struct {
 
 // Loop runs the submitter until ctx is canceled: an endless sequence of
 // jobs, each wrapped in a try with the configured discipline.
-func (sub *Submitter) Loop(p *sim.Proc, ctx context.Context, cl *Cluster, cfg SubmitterConfig) {
+func (sub *Submitter) Loop(p core.Proc, ctx context.Context, cl *Cluster, cfg SubmitterConfig) {
 	p.SetTracer(cfg.Trace)
 	sense := core.ThresholdSense("file-nr", cl.FDs.Free, cfg.Threshold)
 	client := &core.Client{

@@ -68,7 +68,7 @@ func TestChaosSweepCondor(t *testing.T) {
 		plan := plans[c/len(sweepOrder)]
 		d := sweepOrder[c%len(sweepOrder)]
 		subCfg, clCfg := scaledConfigs(opt, d)
-		j, _ := submitCellTraced(opt.seed(), n, window, subCfg, clCfg, plan, cellRec, tr)
+		j, _ := submitCellTraced(Options{}, opt.seed(), n, window, subCfg, clCfg, plan, cellRec, tr)
 		cells[c] = float64(j)
 	})
 	var sum [3]float64
@@ -106,7 +106,7 @@ func TestChaosSweepBuffer(t *testing.T) {
 	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
 		plan := plans[c/len(sweepOrder)]
 		d := sweepOrder[c%len(sweepOrder)]
-		b := bufferCellTraced(opt.seed(), n, window, d, plan, cellRec, tr)
+		b := bufferCellTraced(Options{}, opt.seed(), n, window, d, plan, cellRec, tr)
 		cells[c] = float64(b.Consumed)
 	})
 	var sum [3]float64
@@ -161,7 +161,7 @@ func TestChaosSweepReader(t *testing.T) {
 	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
 		plan := plans[c/len(sweepOrder)]
 		d := sweepOrder[c%len(sweepOrder)]
-		tl := readerCellTraced(opt.seed(), window, mk(d), plan, cellRec, tr)
+		tl := readerCellTraced(Options{}, opt.seed(), window, mk(d), plan, cellRec, tr)
 		cells[c] = float64(tl.TotalTransfers)
 	})
 	var sum [3]float64

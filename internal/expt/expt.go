@@ -14,6 +14,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/core"
 	"repro/internal/fsbuffer"
+	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/replica"
 	"repro/internal/sim"
@@ -47,6 +48,42 @@ type Options struct {
 	// violations are reassembled in cell order, so output is
 	// byte-identical at any setting (see runner.go).
 	Parallel int
+	// Backend selects the runtime the cells execute on: BackendSim
+	// (the default) is the deterministic virtual-clock engine,
+	// BackendLive runs the same scenarios on real goroutines under
+	// compressed wall-clock time (see internal/live). Live runs are
+	// not reproducible; compare them to sim runs with tolerance bands
+	// (see diff_test.go), never byte-for-byte.
+	Backend string
+	// Timescale compresses live-backend time: virtual seconds per real
+	// second. Zero means DefaultTimescale. Ignored by the sim backend,
+	// whose virtual clock costs no real time at all.
+	Timescale float64
+}
+
+// Backend names accepted by Options.Backend and gridbench -backend.
+const (
+	BackendSim  = "sim"
+	BackendLive = "live"
+)
+
+// DefaultTimescale is the live backend's default time compression:
+// 1 virtual second runs in 1 real millisecond.
+const DefaultTimescale = 1000.0
+
+func (o Options) timescale() float64 {
+	if o.Timescale <= 0 {
+		return DefaultTimescale
+	}
+	return o.Timescale
+}
+
+// newEngine builds the backend one simulation cell runs on.
+func (o Options) newEngine(seed int64) core.Backend {
+	if o.Backend == BackendLive {
+		return live.New(seed, o.timescale())
+	}
+	return sim.New(seed).RT()
 }
 
 func (o Options) seed() int64 {
@@ -110,14 +147,14 @@ func SubmitCell(seed int64, n int, window time.Duration, subCfg condor.Submitter
 // cluster and the invariant suite recording into rec; either may be
 // nil. It is the building block of the chaos sweep tests.
 func SubmitCellChaos(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config, plan *chaos.Plan, rec *chaos.Recorder) (jobs, crashes int64) {
-	return submitCellTraced(seed, n, window, subCfg, clCfg, plan, rec, nil)
+	return submitCellTraced(Options{}, seed, n, window, subCfg, clCfg, plan, rec, nil)
 }
 
 // submitCellTraced is the traced core of SubmitCellChaos: when tr is
 // non-nil every submitter gets its own trace thread under the
 // discipline's process.
-func submitCellTraced(seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) (jobs, crashes int64) {
-	e := sim.New(seed)
+func submitCellTraced(opt Options, seed int64, n int, window time.Duration, subCfg condor.SubmitterConfig, clCfg condor.Config, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) (jobs, crashes int64) {
+	e := opt.newEngine(seed)
 	cl := condor.NewCluster(e, clCfg)
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
@@ -134,7 +171,7 @@ func submitCellTraced(seed int64, n int, window time.Duration, subCfg condor.Sub
 		if tr != nil {
 			cfg.Trace = tr.NewClient(subCfg.Discipline.String(), fmt.Sprintf("submitter-%d", i), e.Elapsed)
 		}
-		e.Spawn("submitter", func(p *sim.Proc) {
+		e.Spawn("submitter", func(p core.Proc) {
 			var sub condor.Submitter
 			sub.Loop(p, ctx, cl, cfg)
 		})
@@ -165,7 +202,7 @@ func invariantWindow(window time.Duration) time.Duration {
 // crashes are cumulative, the run must reach its horizon, and Ethernet
 // clients must never hold the FD table deep below the carrier floor
 // for longer than a backoff epoch. Returns nil when rec is nil.
-func condorInvariants(e *sim.Engine, rec *chaos.Recorder, cl *condor.Cluster, subCfg condor.SubmitterConfig, window time.Duration) *chaos.Invariants {
+func condorInvariants(e core.Backend, rec *chaos.Recorder, cl *condor.Cluster, subCfg condor.SubmitterConfig, window time.Duration) *chaos.Invariants {
 	if rec == nil {
 		return nil
 	}
@@ -222,7 +259,7 @@ func Fig1(opt Options) *metrics.SweepTable {
 		d := core.Disciplines[c/len(xs)]
 		i := c % len(xs)
 		subCfg, clCfg := scaledConfigs(opt, d)
-		j, _ := submitCellTraced(opt.seed()+int64(i), xs[i], window, subCfg, clCfg, opt.Chaos, rec, tr)
+		j, _ := submitCellTraced(opt, opt.seed()+int64(i), xs[i], window, subCfg, clCfg, opt.Chaos, rec, tr)
 		jobs[c] = j
 	})
 	for di, d := range core.Disciplines {
@@ -253,7 +290,7 @@ func (tl *SubmitTimeline) Table() *metrics.Table {
 // runSubmitTimeline drives TimelineClients clients of discipline d for
 // TimelineWindow, sampling every 5 seconds.
 func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
-	e := sim.New(opt.seed())
+	e := opt.newEngine(opt.seed())
 	subCfg, clCfg := scaledConfigs(opt, d)
 	cl := condor.NewCluster(e, clCfg)
 	window := opt.scaleD(TimelineWindow)
@@ -289,7 +326,7 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 		if opt.Trace != nil {
 			cfg.Trace = opt.Trace.NewClient(d.String(), fmt.Sprintf("submitter-%d", i), e.Elapsed)
 		}
-		e.Spawn("submitter", func(p *sim.Proc) {
+		e.Spawn("submitter", func(p core.Proc) {
 			var sub condor.Submitter
 			sub.Loop(p, ctx, cl, cfg)
 		})
@@ -346,7 +383,7 @@ func RunBufferSweep(opt Options) *BufferSweep {
 	runCells(opt, len(res), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
 		d := core.Disciplines[c/len(xs)]
 		i := c % len(xs)
-		b := bufferCellTraced(opt.seed()+int64(i), xs[i], window, d, opt.Chaos, rec, tr)
+		b := bufferCellTraced(opt, opt.seed()+int64(i), xs[i], window, d, opt.Chaos, rec, tr)
 		res[c] = bufRes{consumed: b.Consumed, collisions: b.Collisions}
 	})
 	for di, d := range core.Disciplines {
@@ -368,14 +405,14 @@ func RunBufferSweep(opt Options) *BufferSweep {
 // suite, and returns the buffer for inspection. It is the building
 // block of Figures 4 and 5 and of the chaos sweep tests.
 func BufferCell(seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder) *fsbuffer.Buffer {
-	return bufferCellTraced(seed, n, window, d, plan, rec, nil)
+	return bufferCellTraced(Options{}, seed, n, window, d, plan, rec, nil)
 }
 
 // bufferCellTraced is the traced core of BufferCell: when tr is non-nil
 // every producer gets its own trace thread under the discipline's
 // process.
-func bufferCellTraced(seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *fsbuffer.Buffer {
-	e := sim.New(seed)
+func bufferCellTraced(opt Options, seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *fsbuffer.Buffer {
+	e := opt.newEngine(seed)
 	b := fsbuffer.New(e, fsbuffer.Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
@@ -391,14 +428,14 @@ func bufferCellTraced(seed int64, n int, window time.Duration, d core.Discipline
 		inv.Horizon(window)
 		inv.Start(ctx)
 	}
-	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
+	e.Spawn("consumer", func(p core.Proc) { b.Consumer(p, ctx) })
 	for j := 0; j < n; j++ {
 		j := j
 		cfg := fsbuffer.DefaultProducerConfig(d)
 		if tr != nil {
 			cfg.Trace = tr.NewClient(d.String(), fmt.Sprintf("producer-%d", j), e.Elapsed)
 		}
-		e.Spawn("producer", func(p *sim.Proc) {
+		e.Spawn("producer", func(p core.Proc) {
 			var pr fsbuffer.Producer
 			pr.Loop(p, ctx, b, j, cfg)
 		})
@@ -449,7 +486,7 @@ func runReaderTimeline(opt Options, d core.Discipline) *ReaderTimeline {
 	window := opt.scaleD(ReaderWindow)
 	rcfg := replica.DefaultReaderConfig(d)
 	rcfg.OuterLimit = window
-	return readerCellTraced(opt.seed(), window, rcfg, opt.Chaos, opt.Check, opt.Trace)
+	return readerCellTraced(opt, opt.seed(), window, rcfg, opt.Chaos, opt.Check, opt.Trace)
 }
 
 // ReaderCell runs the black-hole scenario with an arbitrary reader
@@ -463,14 +500,14 @@ func ReaderCell(seed int64, window time.Duration, rcfg replica.ReaderConfig) *Re
 // servers and the invariant suite recording into rec; either may be
 // nil.
 func ReaderCellChaos(seed int64, window time.Duration, rcfg replica.ReaderConfig, plan *chaos.Plan, rec *chaos.Recorder) *ReaderTimeline {
-	return readerCellTraced(seed, window, rcfg, plan, rec, nil)
+	return readerCellTraced(Options{}, seed, window, rcfg, plan, rec, nil)
 }
 
 // readerCellTraced is the traced core of ReaderCellChaos: when tr is
 // non-nil every reader gets its own trace thread under the discipline's
 // process.
-func readerCellTraced(seed int64, window time.Duration, rcfg replica.ReaderConfig, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *ReaderTimeline {
-	e := sim.New(seed)
+func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replica.ReaderConfig, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *ReaderTimeline {
+	e := opt.newEngine(seed)
 	cfg := replica.Config{}
 	servers := []*replica.Server{
 		replica.NewServer(e, "xxx", true, cfg), // the permanent black hole
@@ -505,7 +542,7 @@ func readerCellTraced(seed int64, window time.Duration, rcfg replica.ReaderConfi
 		if tr != nil {
 			rc.Trace = tr.NewClient(rcfg.Discipline.String(), fmt.Sprintf("reader-%d", i), e.Elapsed)
 		}
-		e.Spawn("reader", func(p *sim.Proc) { r.Loop(p, ctx, servers, rc) })
+		e.Spawn("reader", func(p core.Proc) { r.Loop(p, ctx, servers, rc) })
 	}
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())

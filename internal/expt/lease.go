@@ -8,7 +8,6 @@ import (
 	"repro/internal/condor"
 	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -62,7 +61,7 @@ func leaseBudget(window time.Duration) time.Duration { return 4 * leaseQuantum(w
 // are counted into the result's Starved; when rec is non-nil they are
 // also forwarded to it, so an acceptance suite can demand a clean run.
 func LeaseCell(opt Options, seed int64, n int, window, quantum time.Duration, plan *chaos.Plan, rec *chaos.Recorder) *LeaseCellResult {
-	e := sim.New(seed)
+	e := opt.newEngine(seed)
 	cl := condor.NewCluster(e, condor.Config{
 		// Capacity comfortably fits the live steady-state load (~35%
 		// duty cycle × 18 FDs each ≈ 6n, with the 3s think time below)
@@ -115,7 +114,7 @@ func LeaseCell(opt Options, seed int64, n int, window, quantum time.Duration, pl
 			cfg.Trace = opt.Trace.NewClient(label, fmt.Sprintf("submitter-%d", i), e.Elapsed)
 		}
 		// Unique process names: the lease ledger keys holders by name.
-		e.Spawn(fmt.Sprintf("submitter-%d", i), func(p *sim.Proc) {
+		e.Spawn(fmt.Sprintf("submitter-%d", i), func(p core.Proc) {
 			sub.Loop(p, ctx, cl, cfg)
 		})
 	}

@@ -58,7 +58,7 @@ func runScriptedSubmitters(t *testing.T, seed int64, script string, n int, windo
 		t.Fatalf("parse: %v", err)
 	}
 	e := sim.New(seed)
-	cl := condor.NewCluster(e, condor.Config{FDCapacity: 2048})
+	cl := condor.NewCluster(e.RT(), condor.Config{FDCapacity: 2048})
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	cl.StartHousekeeping(ctx)

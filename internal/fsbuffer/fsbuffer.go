@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 )
 
 // B, KB, MB express sizes in bytes.
@@ -112,14 +111,14 @@ type file struct {
 
 // Buffer is the shared filesystem buffer.
 type Buffer struct {
-	eng   *sim.Engine
+	eng   core.Backend
 	cfg   Config
 	inj   core.Injector
 	files map[string]*file
 	used  int64
 	// server is the file server's single service queue; every I/O
 	// operation passes through it in FIFO order.
-	server *sim.Resource
+	server core.Resource
 
 	// Collisions counts ENOSPC write failures; Completed counts files
 	// renamed .done; Consumed counts files drained by the consumer.
@@ -131,19 +130,19 @@ type Buffer struct {
 }
 
 // New returns an empty buffer on engine e.
-func New(e *sim.Engine, cfg Config) *Buffer {
+func New(e core.Backend, cfg Config) *Buffer {
 	cfg.fillDefaults()
 	return &Buffer{
 		eng:    e,
 		cfg:    cfg,
 		files:  make(map[string]*file),
-		server: sim.NewResource(e, "fileserver", 1),
+		server: e.NewResource("fileserver", 1),
 	}
 }
 
 // serverOp runs one I/O operation of duration d through the server's
 // FIFO queue.
-func (b *Buffer) serverOp(p *sim.Proc, ctx context.Context, d time.Duration) error {
+func (b *Buffer) serverOp(p core.Proc, ctx context.Context, d time.Duration) error {
 	if err := b.server.Acquire(p, ctx); err != nil {
 		return err
 	}
@@ -225,7 +224,7 @@ func (b *Buffer) Stats() Stats {
 // partial file is deleted and the call returns an ErrNoSpace collision.
 // On success the file is atomically renamed to name.done, signaling the
 // consumer (§5). Cancellation mid-write also deletes the partial file.
-func (b *Buffer) Write(p *sim.Proc, ctx context.Context, name string, size int64) error {
+func (b *Buffer) Write(p core.Proc, ctx context.Context, name string, size int64) error {
 	if _, exists := b.files[name]; exists {
 		return fmt.Errorf("fsbuffer: file %s already exists", name)
 	}
@@ -318,7 +317,7 @@ func (b *Buffer) takeDone() *file {
 // and forwarded up the archive link (at DrainRate), so a server mobbed
 // by failing producers also starves the drain. Run it in its own
 // process: eng.Spawn("consumer", ...).
-func (b *Buffer) Consumer(p *sim.Proc, ctx context.Context) {
+func (b *Buffer) Consumer(p core.Proc, ctx context.Context) {
 	for ctx.Err() == nil {
 		f := b.takeDone()
 		if f == nil {

@@ -12,7 +12,7 @@ import (
 
 func TestWriteCompleteAndConsume(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{})
+	b := New(e.RT(), Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), 30*time.Second)
 	defer cancel()
 	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
@@ -39,7 +39,7 @@ func TestWriteCompleteAndConsume(t *testing.T) {
 
 func TestWriteENOSPCDeletesPartial(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{Capacity: 1 * MB})
+	b := New(e.RT(), Config{Capacity: 1 * MB})
 	var err error
 	e.Spawn("producer", func(p *sim.Proc) {
 		err = b.Write(p, e.Context(), "big", 2*MB)
@@ -60,7 +60,7 @@ func TestWriteENOSPCDeletesPartial(t *testing.T) {
 
 func TestWriteCancellationDeletesPartial(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{})
+	b := New(e.RT(), Config{})
 	var err error
 	e.Spawn("producer", func(p *sim.Proc) {
 		ctx, cancel := p.WithTimeout(e.Context(), 10*time.Millisecond)
@@ -83,7 +83,7 @@ func TestWriteCancellationDeletesPartial(t *testing.T) {
 
 func TestDuplicateNameRejected(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{})
+	b := New(e.RT(), Config{})
 	var err2 error
 	e.Spawn("p", func(p *sim.Proc) {
 		if err := b.Write(p, e.Context(), "x", 1*KB); err != nil {
@@ -101,7 +101,7 @@ func TestDuplicateNameRejected(t *testing.T) {
 
 func TestStatsEstimate(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{Capacity: 10 * MB})
+	b := New(e.RT(), Config{Capacity: 10 * MB})
 	e.Spawn("p", func(p *sim.Proc) {
 		// Two complete 2 MB files.
 		if err := b.Write(p, e.Context(), "a", 2*MB); err != nil {
@@ -137,7 +137,7 @@ func TestStatsEstimate(t *testing.T) {
 
 func TestStatsEstimateWithPartial(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{Capacity: 10 * MB})
+	b := New(e.RT(), Config{Capacity: 10 * MB})
 	var st Stats
 	e.Spawn("writer", func(p *sim.Proc) {
 		_ = b.Write(p, e.Context(), "done1", 2*MB) // finishes ≈ 0.67 s
@@ -167,7 +167,7 @@ func TestStatsEstimateWithPartial(t *testing.T) {
 
 func TestProducerLoopWritesAtCadence(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{})
+	b := New(e.RT(), Config{})
 	ctx, cancel := e.WithTimeout(e.Context(), 30*time.Second)
 	defer cancel()
 	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
@@ -190,7 +190,7 @@ func TestProducerLoopWritesAtCadence(t *testing.T) {
 func TestEthernetProducersAvoidCollisions(t *testing.T) {
 	run := func(d core.Discipline) (collisions, consumed int64) {
 		e := sim.New(7)
-		b := New(e, Config{})
+		b := New(e.RT(), Config{})
 		ctx, cancel := e.WithTimeout(e.Context(), 3*time.Minute)
 		defer cancel()
 		e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
@@ -222,7 +222,7 @@ func TestQuickAccountingInvariant(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		n := int(nRaw%8) + 2
 		e := sim.New(seed)
-		b := New(e, Config{Capacity: 4 * MB})
+		b := New(e.RT(), Config{Capacity: 4 * MB})
 		ctx, cancel := e.WithTimeout(e.Context(), time.Minute)
 		defer cancel()
 		e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -65,7 +64,7 @@ func Sense(b *Buffer, expect int64) func(ctx context.Context) error {
 
 // Loop produces files until ctx is canceled, applying the configured
 // discipline to each file's write.
-func (pr *Producer) Loop(p *sim.Proc, ctx context.Context, b *Buffer, id int, cfg ProducerConfig) {
+func (pr *Producer) Loop(p core.Proc, ctx context.Context, b *Buffer, id int, cfg ProducerConfig) {
 	p.SetTracer(cfg.Trace)
 	client := &core.Client{
 		Rt:         p,

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lease"
-	"repro/internal/sim"
 )
 
 // This file implements the alternative §5 discusses and argues against:
@@ -49,14 +48,14 @@ type Allocator struct {
 	// GrantTime models the allocation round trip; the allocation
 	// service is itself a shared resource and serializes requests.
 	GrantTime time.Duration
-	lane      *sim.Resource
+	lane      core.Resource
 
 	// Grants and Denials count allocator outcomes.
 	Grants, Denials int64
 }
 
 // NewAllocator wraps buf with a reservation service.
-func NewAllocator(e *sim.Engine, buf *Buffer, grantTime time.Duration) *Allocator {
+func NewAllocator(e core.Backend, buf *Buffer, grantTime time.Duration) *Allocator {
 	if grantTime <= 0 {
 		grantTime = 10 * time.Millisecond
 	}
@@ -64,7 +63,7 @@ func NewAllocator(e *sim.Engine, buf *Buffer, grantTime time.Duration) *Allocato
 		buf:       buf,
 		tenure:    lease.New(e, "reservation", buf.Free(), 0),
 		GrantTime: grantTime,
-		lane:      sim.NewResource(e, "allocator", 1),
+		lane:      e.NewResource("allocator", 1),
 	}
 }
 
@@ -89,7 +88,7 @@ func (a *Allocator) Tenure() *lease.Manager { return a.tenure }
 
 // Reserve requests size bytes, waiting in the allocator's queue. On
 // success the caller owns the reservation and must End it.
-func (a *Allocator) Reserve(p *sim.Proc, ctx context.Context, size int64) (*Reservation, error) {
+func (a *Allocator) Reserve(p core.Proc, ctx context.Context, size int64) (*Reservation, error) {
 	res, err := a.reserve(p, ctx, size)
 	if err != nil {
 		return nil, err
@@ -111,7 +110,7 @@ func (a *Allocator) Reserve(p *sim.Proc, ctx context.Context, size int64) (*Rese
 
 // reserve is the admission path: serialize on the allocation service,
 // pay the round trip, then grant tenure on the promised bytes.
-func (a *Allocator) reserve(p *sim.Proc, ctx context.Context, size int64) (*Reservation, error) {
+func (a *Allocator) reserve(p core.Proc, ctx context.Context, size int64) (*Reservation, error) {
 	if err := a.lane.Acquire(p, ctx); err != nil {
 		return nil, err
 	}
@@ -163,7 +162,7 @@ type ReservingProducer struct {
 // worst-case reservation (retrying with Aloha backoff on denial — the
 // allocation service gives a clean failure signal, so carrier sense
 // adds nothing), then writes under its protection.
-func (rp *ReservingProducer) Loop(p *sim.Proc, ctx context.Context, a *Allocator, id int, cfg ProducerConfig) {
+func (rp *ReservingProducer) Loop(p core.Proc, ctx context.Context, a *Allocator, id int, cfg ProducerConfig) {
 	seq := 0
 	for ctx.Err() == nil {
 		size := int64(p.Rand() * float64(cfg.MaxFileSize))

@@ -11,8 +11,8 @@ import (
 
 func TestReserveGrantAndEnd(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{Capacity: 10 * MB})
-	a := NewAllocator(e, b, 0)
+	b := New(e.RT(), Config{Capacity: 10 * MB})
+	a := NewAllocator(e.RT(), b, 0)
 	e.Spawn("c", func(p *sim.Proc) {
 		res, err := a.Reserve(p, e.Context(), 4*MB)
 		if err != nil {
@@ -38,8 +38,8 @@ func TestReserveGrantAndEnd(t *testing.T) {
 
 func TestReserveNeverOvercommits(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{Capacity: 10 * MB})
-	a := NewAllocator(e, b, 0)
+	b := New(e.RT(), Config{Capacity: 10 * MB})
+	a := NewAllocator(e.RT(), b, 0)
 	e.Spawn("c", func(p *sim.Proc) {
 		r1, err := a.Reserve(p, e.Context(), 6*MB)
 		if err != nil {
@@ -64,8 +64,8 @@ func TestReserveNeverOvercommits(t *testing.T) {
 
 func TestReserveAccountsForBufferContents(t *testing.T) {
 	e := sim.New(1)
-	b := New(e, Config{Capacity: 10 * MB})
-	a := NewAllocator(e, b, 0)
+	b := New(e.RT(), Config{Capacity: 10 * MB})
+	a := NewAllocator(e.RT(), b, 0)
 	e.Spawn("c", func(p *sim.Proc) {
 		if err := b.Write(p, e.Context(), "x", 7*MB); err != nil {
 			t.Errorf("write: %v", err)
@@ -81,8 +81,8 @@ func TestReserveAccountsForBufferContents(t *testing.T) {
 
 func TestReservingProducersNeverCollide(t *testing.T) {
 	e := sim.New(9)
-	b := New(e, Config{})
-	a := NewAllocator(e, b, 0)
+	b := New(e.RT(), Config{})
+	a := NewAllocator(e.RT(), b, 0)
 	ctx, cancel := e.WithTimeout(e.Context(), 2*time.Minute)
 	defer cancel()
 	e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
@@ -129,8 +129,8 @@ func TestReservationThroughputTradeoff(t *testing.T) {
 
 	runReserving := func() int64 {
 		e := sim.New(4)
-		b := New(e, cfg)
-		a := NewAllocator(e, b, grantTime)
+		b := New(e.RT(), cfg)
+		a := NewAllocator(e.RT(), b, grantTime)
 		ctx, cancel := e.WithTimeout(e.Context(), window)
 		defer cancel()
 		e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })
@@ -148,7 +148,7 @@ func TestReservationThroughputTradeoff(t *testing.T) {
 	}
 	runEthernet := func() int64 {
 		e := sim.New(4)
-		b := New(e, cfg)
+		b := New(e.RT(), cfg)
 		ctx, cancel := e.WithTimeout(e.Context(), window)
 		defer cancel()
 		e.Spawn("consumer", func(p *sim.Proc) { b.Consumer(p, ctx) })

@@ -39,7 +39,7 @@ func (in *Interp) execCommand(ctx context.Context, st *ast.CommandStmt) error {
 	}
 	if runErr != nil && !errors.Is(runErr, errSuccess) {
 		in.logf("command %s failed: %v", argv[0], runErr)
-		return &PosError{Pos: st.Pos(), Err: runErr}
+		return wrapPos(st.Pos(), runErr)
 	}
 	return runErr
 }

@@ -1,0 +1,70 @@
+package interp_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ftsh/interp"
+	"repro/internal/ftsh/parser"
+	"repro/internal/sim"
+)
+
+// FuzzInterp executes arbitrary parseable scripts end to end — lexer,
+// parser, interpreter, simulator — inside the conformance corpus's
+// deterministic world. The property is crash-freedom: any input must
+// run to a clean success or failure in bounded virtual time, never
+// panic, overflow the stack, or wedge the engine. Parse failures are
+// skipped (FuzzParse owns input robustness), as are scripts containing
+// `while`, whose loops can be legitimately infinite (quick_test.go
+// excludes them for the same reason).
+func FuzzInterp(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.ftsh"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no conformance corpus to seed from: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		// Sound over-approximation: the while keyword must appear
+		// literally in any script that parses to a WhileStmt.
+		if strings.Contains(src, "while") {
+			t.Skip("while loops may be legitimately infinite")
+		}
+		script, err := parser.Parse(src)
+		if err != nil {
+			t.Skip("parse failure is FuzzParse's territory")
+		}
+		w := corpusWorld(1)
+		// Bound runaway virtual-time loops (e.g. a try that retries a
+		// zero-cost failure under an enormous budget): the engine stops
+		// with a "likely livelock" error instead of spinning.
+		w.eng.MaxEvents = 2_000_000
+		w.eng.Spawn("script", func(p *sim.Proc) {
+			cfg := interp.Config{
+				Runner:  w.runner,
+				Runtime: p,
+				Stdout:  &w.out,
+				Stderr:  &w.out,
+				FS:      w.fs,
+			}
+			in := interp.New(cfg)
+			ctx, cancel := p.WithTimeout(w.eng.Context(), 24*time.Hour)
+			defer cancel()
+			_ = in.Run(ctx, script) // success and failure are both fine
+		})
+		if err := w.eng.Run(); err != nil {
+			t.Skip("hit the event bound: unbounded but legal script")
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package interp_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftsh/interp"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite conformance golden files")
+
+// corpusWorld builds the deterministic universe every conformance
+// script runs in: a seeded simulator plus a small stable of fake
+// commands whose behavior is keyed entirely by their arguments, so the
+// scripts in testdata/ can exercise success, failure, hangs, and
+// timeouts without any real I/O.
+//
+//	flaky N TAG   fail the first N calls (counted per TAG), then print
+//	              and succeed
+//	hang          sleep forever; only a canceled session ends it
+//	slow N TAG    sleep N virtual seconds, print, succeed
+//	wget URL      host "good*": 2s transfer, print, succeed
+//	              host "hang*": sleep forever
+//	              host "slowbad*": fail after 1s
+//	              anything else: fail immediately
+func corpusWorld(seed int64) *world {
+	w := newWorld(seed)
+	calls := map[string]int{}
+	w.runner.Register("flaky", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		if len(cmd.Args) != 2 {
+			return fmt.Errorf("flaky: want 2 args, got %d", len(cmd.Args))
+		}
+		n, err := strconv.Atoi(cmd.Args[0])
+		if err != nil {
+			return err
+		}
+		tag := cmd.Args[1]
+		calls[tag]++
+		if calls[tag] <= n {
+			return core.ErrFailure
+		}
+		fmt.Fprintf(cmd.Stdout, "flaky %s ok on call %d\n", tag, calls[tag])
+		return nil
+	})
+	w.runner.Register("hang", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		return rt.Sleep(ctx, 1000*time.Hour)
+	})
+	w.runner.Register("slow", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		if len(cmd.Args) != 2 {
+			return fmt.Errorf("slow: want 2 args, got %d", len(cmd.Args))
+		}
+		n, err := strconv.Atoi(cmd.Args[0])
+		if err != nil {
+			return err
+		}
+		if err := rt.Sleep(ctx, time.Duration(n)*time.Second); err != nil {
+			return err
+		}
+		fmt.Fprintf(cmd.Stdout, "slow %s done\n", cmd.Args[1])
+		return nil
+	})
+	w.runner.Register("wget", func(ctx context.Context, rt core.Runtime, cmd *interp.Command) error {
+		if len(cmd.Args) != 1 {
+			return fmt.Errorf("wget: want 1 arg, got %d", len(cmd.Args))
+		}
+		url := cmd.Args[0]
+		switch {
+		case strings.Contains(url, "hang"):
+			return rt.Sleep(ctx, 1000*time.Hour)
+		case strings.Contains(url, "slowbad"):
+			if err := rt.Sleep(ctx, time.Second); err != nil {
+				return err
+			}
+			return core.ErrFailure
+		case strings.Contains(url, "good"):
+			if err := rt.Sleep(ctx, 2*time.Second); err != nil {
+				return err
+			}
+			fmt.Fprintf(cmd.Stdout, "fetched %s\n", url)
+			return nil
+		default:
+			return core.ErrFailure
+		}
+	})
+	return w
+}
+
+// TestConformanceCorpus runs every testdata/*.ftsh script end to end
+// through the lexer, parser, and interpreter inside the deterministic
+// simulator, and compares a transcript — script output, final status,
+// and virtual elapsed time — against the paired .golden file. Run with
+// -update to rewrite the goldens after an intentional change.
+func TestConformanceCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.ftsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no conformance scripts in testdata/")
+	}
+	for _, file := range files {
+		file := file
+		name := strings.TrimSuffix(filepath.Base(file), ".ftsh")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := corpusWorld(1)
+			scriptErr := w.run(t, string(src), nil)
+
+			var sb strings.Builder
+			sb.WriteString(w.out.String())
+			if scriptErr != nil {
+				fmt.Fprintf(&sb, "-- error: %v\n", scriptErr)
+			} else {
+				sb.WriteString("-- ok\n")
+			}
+			fmt.Fprintf(&sb, "-- elapsed: %v\n", w.eng.Elapsed())
+			got := sb.String()
+
+			goldenPath := strings.TrimSuffix(file, ".ftsh") + ".golden"
+			if *updateGolden {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("transcript mismatch for %s\n--- got ---\n%s--- want ---\n%s", file, got, want)
+			}
+		})
+	}
+}

@@ -94,8 +94,14 @@ type Interp struct {
 	vars  map[string]string
 	fns   map[string]*ast.FunctionStmt
 	args  []string // positional parameters of the current function frame
+	depth int      // current user-function call depth
 	stats *Stats
 }
+
+// maxCallDepth bounds user-function call nesting so unbounded recursion
+// fails the script like any other error instead of overflowing the Go
+// stack.
+const maxCallDepth = 200
 
 // New returns an interpreter.
 func New(cfg Config) *Interp {
@@ -134,6 +140,18 @@ func (e *PosError) Error() string { return fmt.Sprintf("%s: %v", e.Pos, e.Err) }
 
 // Unwrap exposes the cause.
 func (e *PosError) Unwrap() error { return e.Err }
+
+// wrapPos attaches pos to err unless the chain already carries a script
+// position: the innermost position names the statement that actually
+// failed, and re-wrapping at every enclosing call frame would bury it
+// (a 200-deep recursion would prefix 200 call-site positions).
+func wrapPos(pos token.Pos, err error) error {
+	var pe *PosError
+	if errors.As(err, &pe) {
+		return err
+	}
+	return &PosError{Pos: pos, Err: err}
+}
 
 // Var returns the value of a shell variable ("" if unset).
 func (in *Interp) Var(name string) string { return in.vars[name] }
@@ -517,10 +535,15 @@ func (in *Interp) evalCond(c *ast.Cond) (bool, error) {
 
 // callFunction invokes a user-defined function with positional args.
 func (in *Interp) callFunction(ctx context.Context, fn *ast.FunctionStmt, args []string) error {
+	if in.depth >= maxCallDepth {
+		return &PosError{Pos: fn.Pos(), Err: fmt.Errorf("call depth exceeds %d: unbounded recursion in function %q", maxCallDepth, fn.Name)}
+	}
+	in.depth++
 	saved := in.args
 	in.args = args
 	err := in.execBlock(ctx, fn.Body)
 	in.args = saved
+	in.depth--
 	if errors.Is(err, errSuccess) {
 		return nil
 	}

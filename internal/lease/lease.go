@@ -24,7 +24,7 @@ import (
 	"errors"
 	"time"
 
-	"repro/internal/sim"
+	"repro/internal/core"
 	"repro/internal/trace"
 )
 
@@ -38,7 +38,7 @@ var ErrRevoked = errors.New("lease revoked: tenure expired")
 // counter (no parking, no watchdogs), which the condor FD table uses
 // in engine-free unit tests.
 type Manager struct {
-	eng      *sim.Engine
+	eng      core.Backend
 	name     string
 	quantum  time.Duration
 	capacity int64
@@ -90,7 +90,7 @@ func (w *waiter) dead() bool {
 // New returns a manager for capacity units of the named resource with
 // the given tenure quantum. quantum <= 0 (or a nil engine) means
 // unlimited tenure: leases never expire and no watchdog is scheduled.
-func New(e *sim.Engine, name string, capacity int64, quantum time.Duration) *Manager {
+func New(e core.Backend, name string, capacity int64, quantum time.Duration) *Manager {
 	if capacity < 0 {
 		capacity = 0
 	}
@@ -247,7 +247,7 @@ func (m *Manager) Put(units int64) {
 // TryAcquire takes units as a lease without waiting, reporting
 // success. On failure the holder is marked as wanting the resource,
 // so the starvation clock runs until a later grant.
-func (m *Manager) TryAcquire(p *sim.Proc, ctx context.Context, holder string, units int64) (*Lease, bool) {
+func (m *Manager) TryAcquire(p core.Proc, ctx context.Context, holder string, units int64) (*Lease, bool) {
 	st := m.stats(holder)
 	if m.inUse+units <= m.capacity && m.QueueLen() == 0 {
 		m.inUse += units
@@ -266,7 +266,7 @@ func (m *Manager) TryAcquire(p *sim.Proc, ctx context.Context, holder string, un
 // until they are free or ctx is canceled (returning the cancellation
 // cause). Waiters whose units do not fit block the queue head, which
 // keeps the discipline FIFO-fair for mixed sizes.
-func (m *Manager) Acquire(p *sim.Proc, ctx context.Context, holder string, units int64) (*Lease, error) {
+func (m *Manager) Acquire(p core.Proc, ctx context.Context, holder string, units int64) (*Lease, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -299,7 +299,7 @@ func (m *Manager) Acquire(p *sim.Proc, ctx context.Context, holder string, units
 // Grant takes units unconditionally as a lease: the caller has already
 // arbitrated admission (the fsbuffer allocator grants under its own
 // lane) and only wants the tenure discipline.
-func (m *Manager) Grant(p *sim.Proc, ctx context.Context, holder string, units int64) *Lease {
+func (m *Manager) Grant(p core.Proc, ctx context.Context, holder string, units int64) *Lease {
 	st := m.stats(holder)
 	m.inUse += units
 	m.Acquires++
@@ -341,7 +341,7 @@ func (m *Manager) grantWaiters() {
 // newLease mints the tenure record, arming the expiry watchdog when a
 // quantum is configured. The trace acquire event is emitted last so
 // event order matches the pre-lease code paths exactly.
-func (m *Manager) newLease(p *sim.Proc, ctx context.Context, holder string, units int64) *Lease {
+func (m *Manager) newLease(p core.Proc, ctx context.Context, holder string, units int64) *Lease {
 	l := &Lease{m: m, holder: holder, units: units, parent: ctx}
 	if p != nil {
 		l.tr = p.Tracer()
@@ -367,7 +367,7 @@ type Lease struct {
 	parent   context.Context
 	ctx      context.Context
 	cancel   context.CancelFunc
-	timer    sim.Timer
+	timer    core.Timer
 	deadline time.Duration
 	done     bool
 	revoked  bool
@@ -392,7 +392,7 @@ func (l *Lease) Units() int64 { return l.units }
 // Deadline returns the virtual time the tenure expires; ok is false
 // for unlimited tenure.
 func (l *Lease) Deadline() (time.Duration, bool) {
-	return l.deadline, l.timer.Scheduled()
+	return l.deadline, l.timer != nil
 }
 
 // Revoked reports whether the watchdog reclaimed this tenure.
@@ -405,7 +405,7 @@ func (l *Lease) Renew() bool {
 	if l.done {
 		return false
 	}
-	if !l.timer.Scheduled() {
+	if l.timer == nil {
 		return true
 	}
 	l.timer.Cancel()
@@ -422,7 +422,9 @@ func (l *Lease) Release() {
 		return
 	}
 	l.done = true
-	l.timer.Cancel()
+	if l.timer != nil {
+		l.timer.Cancel()
+	}
 	if l.cancel != nil {
 		l.cancel()
 	}

@@ -10,7 +10,7 @@ import (
 
 func TestUnlimitedTenureIsPlainSemaphore(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 2, 0)
+	m := New(e.RT(), "res", 2, 0)
 	var got error
 	e.Spawn("a", func(p *sim.Proc) {
 		ctx := e.Context()
@@ -48,7 +48,7 @@ func TestUnlimitedTenureIsPlainSemaphore(t *testing.T) {
 
 func TestWatchdogRevokesStuckHolder(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 1, 10*time.Second)
+	m := New(e.RT(), "res", 1, 10*time.Second)
 	var hangErr error
 	var revokedAt time.Duration
 	e.Spawn("stuck", func(p *sim.Proc) {
@@ -91,7 +91,7 @@ func TestWatchdogRevokesStuckHolder(t *testing.T) {
 
 func TestRenewExtendsTenure(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 1, 10*time.Second)
+	m := New(e.RT(), "res", 1, 10*time.Second)
 	e.Spawn("worker", func(p *sim.Proc) {
 		l, err := m.Acquire(p, e.Context(), "worker", 1)
 		if err != nil {
@@ -121,7 +121,7 @@ func TestRenewExtendsTenure(t *testing.T) {
 
 func TestRevocationWakesWaiter(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 1, 10*time.Second)
+	m := New(e.RT(), "res", 1, 10*time.Second)
 	var waiterGrantedAt time.Duration
 	e.Spawn("stuck", func(p *sim.Proc) {
 		l, _ := m.Acquire(p, e.Context(), "stuck", 1)
@@ -155,7 +155,7 @@ func TestRevocationWakesWaiter(t *testing.T) {
 
 func TestFIFOOrderAndHeadOfLineBlocking(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 4, 0)
+	m := New(e.RT(), "res", 4, 0)
 	var order []string
 	grab := func(name string, units int64, after time.Duration, hold time.Duration) {
 		e.Spawn(name, func(p *sim.Proc) {
@@ -185,7 +185,7 @@ func TestFIFOOrderAndHeadOfLineBlocking(t *testing.T) {
 
 func TestWaiterCancellation(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 1, 0)
+	m := New(e.RT(), "res", 1, 0)
 	var werr error
 	e.Spawn("holder", func(p *sim.Proc) {
 		l, _ := m.Acquire(p, e.Context(), "holder", 1)
@@ -214,7 +214,7 @@ func TestWaiterCancellation(t *testing.T) {
 
 func TestSetCapacityGrowsAndShrinks(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 1, 0)
+	m := New(e.RT(), "res", 1, 0)
 	var grantedAt time.Duration
 	e.Spawn("holder", func(p *sim.Proc) {
 		l, _ := m.Acquire(p, e.Context(), "holder", 1)
@@ -247,7 +247,7 @@ func TestSetCapacityGrowsAndShrinks(t *testing.T) {
 
 func TestTryAcquireStartsStarvationClock(t *testing.T) {
 	e := sim.New(1)
-	m := New(e, "res", 1, 0)
+	m := New(e.RT(), "res", 1, 0)
 	e.Spawn("a", func(p *sim.Proc) {
 		l, ok := m.TryAcquire(p, e.Context(), "a", 1)
 		if !ok {

@@ -1,0 +1,257 @@
+// Package live is the wall-clock backend: it runs the same scenarios as
+// the deterministic simulator (internal/sim) on real goroutines, real
+// timers, and real mutex contention, under compressed time.
+//
+// Where the simulator serializes processes with a token handoff, the
+// live engine serializes them with one global mutex — a monitor. A
+// process holds the engine lock while it executes substrate code and
+// releases it across every blocking operation (Sleep, Hang, Yield,
+// resource waits), so the shared state invariants the substrates were
+// written against ("engine methods run under the token") carry over
+// unchanged, while the interleaving between blocking points is decided
+// by the Go scheduler and the wall clock rather than by a seed. Runs
+// are therefore not reproducible; the differential harness
+// (internal/expt) asserts distributional properties with tolerance
+// bands instead of golden outputs.
+//
+// Compressed time: every virtual duration d that crosses the backend
+// boundary (sleeps, timeouts, timer deadlines) runs for d/timescale of
+// real time, and Elapsed reports real time multiplied back, so a
+// 5-minute paper window finishes in 300 ms at timescale 1000 and all
+// virtual-time observables (throughput per virtual second, trace
+// timestamps) remain directly comparable to the simulator's.
+package live
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Engine is the wall-clock implementation of core.Backend. Create one
+// with New, add processes with Spawn, then call Run, which returns when
+// every process has. Before Run, Engine methods may only be called from
+// the constructing goroutine; afterwards they follow the monitor
+// discipline (called with the engine lock held, i.e. from process code
+// or timer callbacks).
+type Engine struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	timescale float64
+
+	start   time.Time
+	started bool
+	closed  bool
+	events  int64
+	liveN   int
+
+	wg            sync.WaitGroup
+	pendingProcs  []*pendingProc
+	pendingTimers []*timerNode
+	timers        map[*timerNode]struct{}
+
+	root       context.Context
+	rootCancel context.CancelFunc
+}
+
+type pendingProc struct {
+	p  *Proc
+	fn func(p core.Proc)
+}
+
+var _ core.Backend = (*Engine)(nil)
+
+// New returns an engine whose random source is seeded with seed and
+// whose virtual clock runs timescale times faster than the wall clock
+// (timescale <= 0 selects 1, i.e. uncompressed real time). Unlike the
+// simulator, an identical seed does not reproduce a run — only the
+// random draws are deterministic, not the interleaving.
+func New(seed int64, timescale float64) *Engine {
+	if timescale <= 0 {
+		timescale = 1
+	}
+	e := &Engine{
+		rng:       rand.New(rand.NewSource(seed)),
+		timescale: timescale,
+		timers:    make(map[*timerNode]struct{}),
+	}
+	e.root, e.rootCancel = context.WithCancel(context.Background())
+	return e
+}
+
+// toReal converts a virtual duration to the wall-clock duration it runs
+// for. Sub-nanosecond results round up to 1ns so positive virtual waits
+// never become busy spins.
+func (e *Engine) toReal(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	rd := time.Duration(float64(d) / e.timescale)
+	if rd <= 0 {
+		rd = 1
+	}
+	return rd
+}
+
+// Elapsed reports virtual time since Run started (zero before then).
+func (e *Engine) Elapsed() time.Duration {
+	if !e.started {
+		return 0
+	}
+	return time.Duration(float64(time.Since(e.start)) * e.timescale)
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Time { return core.Epoch.Add(e.Elapsed()) }
+
+// Events reports how many scheduling steps (process launches and timer
+// firings) the engine has executed.
+func (e *Engine) Events() int64 { return e.events }
+
+// Rand returns a uniform value in [0,1) from the engine's seeded
+// source. Must be called under the engine lock (or before Run).
+func (e *Engine) Rand() float64 { return e.rng.Float64() }
+
+// Context returns the root context for the run.
+func (e *Engine) Context() context.Context { return e.root }
+
+// WithCancel derives an explicitly cancelable child context.
+func (e *Engine) WithCancel(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(parent)
+}
+
+// WithTimeout derives a child context canceled after d of virtual time.
+func (e *Engine) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, e.toReal(d))
+}
+
+// NewResource implements core.Backend.
+func (e *Engine) NewResource(name string, capacity int) core.Resource {
+	return newResource(e, name, capacity)
+}
+
+// Spawn creates a new process executing fn. Before Run it is queued;
+// afterwards (under the engine lock) it starts immediately.
+func (e *Engine) Spawn(name string, fn func(p core.Proc)) {
+	p := &Proc{eng: e, name: name}
+	if !e.started {
+		e.pendingProcs = append(e.pendingProcs, &pendingProc{p: p, fn: fn})
+		return
+	}
+	e.launch(p, fn)
+}
+
+// launch starts the process goroutine. Callers must hold the engine
+// lock (Run holds it while launching the pending set).
+func (e *Engine) launch(p *Proc, fn func(p core.Proc)) {
+	e.events++
+	e.liveN++
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.mu.Lock()
+		fn(p)
+		e.liveN--
+		e.mu.Unlock()
+	}()
+}
+
+// Schedule arranges fn to run at virtual time now+d under the engine
+// lock, returning a cancelable handle. Canceling under the lock is
+// race-free against the callback.
+func (e *Engine) Schedule(d time.Duration, fn func()) core.Timer {
+	n := &timerNode{eng: e, fn: fn, delay: e.toReal(d)}
+	e.timers[n] = struct{}{}
+	if !e.started {
+		e.pendingTimers = append(e.pendingTimers, n)
+		return n
+	}
+	n.arm()
+	return n
+}
+
+// Run launches every pending process and timer, waits for all processes
+// (including ones spawned later) to return, then stops outstanding
+// timers. It always returns nil; a scenario that never unwinds blocks
+// here, so bound scenarios with context deadlines as the simulator's
+// callers already do.
+func (e *Engine) Run() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("live: Run called twice")
+	}
+	e.started = true
+	e.start = time.Now()
+	for _, n := range e.pendingTimers {
+		n.arm()
+	}
+	e.pendingTimers = nil
+	pending := e.pendingProcs
+	e.pendingProcs = nil
+	for _, pp := range pending {
+		e.launch(pp.p, pp.fn)
+	}
+	e.mu.Unlock()
+
+	e.wg.Wait()
+
+	e.mu.Lock()
+	e.closed = true
+	for n := range e.timers {
+		n.stopped = true
+		if n.t != nil {
+			n.t.Stop()
+		}
+	}
+	e.timers = nil
+	e.mu.Unlock()
+	e.rootCancel()
+	return nil
+}
+
+// Live reports the number of processes that have started and not yet
+// returned. Must be called under the engine lock.
+func (e *Engine) Live() int { return e.liveN }
+
+// timerNode is one scheduled callback. Cancel must be called under the
+// engine lock; the callback itself takes the lock before running, so a
+// cancellation observed there wins.
+type timerNode struct {
+	eng     *Engine
+	fn      func()
+	delay   time.Duration
+	t       *time.Timer
+	stopped bool
+}
+
+// arm starts the wall-clock timer. Engine lock held.
+func (n *timerNode) arm() {
+	e := n.eng
+	n.t = time.AfterFunc(n.delay, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if n.stopped || e.closed {
+			return
+		}
+		n.stopped = true
+		delete(e.timers, n)
+		e.events++
+		n.fn()
+	})
+}
+
+// Cancel implements core.Timer. Engine lock held.
+func (n *timerNode) Cancel() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	delete(n.eng.timers, n)
+	if n.t != nil {
+		n.t.Stop()
+	}
+}

@@ -1,0 +1,240 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lease"
+)
+
+// ts compresses 1 virtual second into 0.1 real milliseconds, so
+// multi-minute virtual scenarios finish in milliseconds of test time.
+const ts = 10_000
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := New(1, ts)
+	var elapsed time.Duration
+	e.Spawn("sleeper", func(p core.Proc) {
+		p.SleepFor(10 * time.Second)
+		elapsed = p.Elapsed()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 10*time.Second {
+		t.Fatalf("virtual elapsed = %v, want >= 10s", elapsed)
+	}
+	if elapsed > 10*time.Minute {
+		t.Fatalf("virtual elapsed = %v: sleep ran far past its scaled duration", elapsed)
+	}
+	if e.Events() == 0 {
+		t.Fatal("no events counted")
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	e := New(1, ts)
+	var err error
+	e.Spawn("sleeper", func(p core.Proc) {
+		ctx, cancel := p.WithTimeout(e.Context(), time.Second)
+		defer cancel()
+		err = p.Sleep(ctx, time.Hour)
+	})
+	if rerr := e.Run(); rerr != nil {
+		t.Fatal(rerr)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("sleep err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestTimerFiresAndCancels(t *testing.T) {
+	e := New(1, ts)
+	var fired, canceled atomic.Int64
+	e.Schedule(time.Second, func() { fired.Add(1) })
+	tm := e.Schedule(time.Second, func() { canceled.Add(1) })
+	e.Spawn("driver", func(p core.Proc) {
+		tm.Cancel() // before Run arms it for real: still pending
+		// Run drops timers still pending when the last process exits,
+		// and real timers resolve no finer than ~1.25ms: keep the
+		// process alive for 5 virtual minutes (30ms real) so the
+		// 1-virtual-second timer is far inside the window.
+		p.SleepFor(5 * time.Minute)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("timer fired %d times, want 1", fired.Load())
+	}
+	if canceled.Load() != 0 {
+		t.Fatalf("canceled timer fired %d times", canceled.Load())
+	}
+}
+
+func TestResourceFIFOUnderContention(t *testing.T) {
+	e := New(1, ts)
+	r := e.NewResource("server", 1)
+	var served atomic.Int64
+	for i := 0; i < 8; i++ {
+		e.Spawn("client", func(p core.Proc) {
+			if err := r.Acquire(p, e.Context()); err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			p.SleepFor(time.Second)
+			r.Release()
+			served.Add(1)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served.Load() != 8 {
+		t.Fatalf("served %d, want 8", served.Load())
+	}
+	if r.InUse() != 0 || r.QueueLen() != 0 {
+		t.Fatalf("inUse=%d queue=%d after run", r.InUse(), r.QueueLen())
+	}
+}
+
+func TestResourceAcquireTimesOut(t *testing.T) {
+	e := New(1, ts)
+	r := e.NewResource("server", 1).(*Resource)
+	var werr error
+	e.Spawn("holder", func(p core.Proc) {
+		if err := r.Acquire(p, e.Context()); err != nil {
+			t.Errorf("holder acquire: %v", err)
+			return
+		}
+		p.SleepFor(time.Minute)
+		r.Release()
+	})
+	e.Spawn("waiter", func(p core.Proc) {
+		p.SleepFor(time.Second) // let the holder in first
+		ctx, cancel := p.WithTimeout(e.Context(), 5*time.Second)
+		defer cancel()
+		werr = r.Acquire(p, ctx)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", werr)
+	}
+	if r.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", r.Timeouts)
+	}
+}
+
+func TestParallelRunsBranches(t *testing.T) {
+	e := New(1, ts)
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	e.Spawn("parent", func(p core.Proc) {
+		fns := make([]func(context.Context, core.Runtime) error, 5)
+		for i := range fns {
+			i := i
+			fns[i] = func(ctx context.Context, rt core.Runtime) error {
+				if err := rt.Sleep(ctx, time.Second); err != nil {
+					return err
+				}
+				ran.Add(1)
+				if i == 3 {
+					return boom
+				}
+				return nil
+			}
+		}
+		errs := p.Parallel(e.Context(), 2, fns)
+		for i, err := range errs {
+			if i == 3 && !errors.Is(err, boom) {
+				t.Errorf("branch 3 err = %v, want boom", err)
+			}
+			if i != 3 && err != nil {
+				t.Errorf("branch %d err = %v", i, err)
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d branches, want 5", ran.Load())
+	}
+}
+
+// TestLeaseWatchdogOnLiveBackend drives the lease manager — written
+// against core.Backend — on the wall-clock engine: a wedged holder must
+// be revoked after its quantum and the queued waiter granted.
+func TestLeaseWatchdogOnLiveBackend(t *testing.T) {
+	e := New(1, ts)
+	m := lease.New(e, "res", 1, 10*time.Second)
+	var waiterGranted atomic.Bool
+	e.Spawn("stuck", func(p core.Proc) {
+		l, err := m.Acquire(p, e.Context(), "stuck", 1)
+		if err != nil {
+			t.Errorf("stuck acquire: %v", err)
+			return
+		}
+		_ = p.Hang(l.Ctx()) // wedged until the watchdog revokes us
+		if !l.Revoked() {
+			t.Error("lease not revoked")
+		}
+	})
+	e.Spawn("waiter", func(p core.Proc) {
+		p.SleepFor(time.Second)
+		l, err := m.Acquire(p, e.Context(), "waiter", 1)
+		if err != nil {
+			t.Errorf("waiter acquire: %v", err)
+			return
+		}
+		waiterGranted.Store(true)
+		l.Release()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Revokes != 1 {
+		t.Fatalf("Revokes = %d, want 1", m.Revokes)
+	}
+	if !waiterGranted.Load() {
+		t.Fatal("waiter never granted after revocation")
+	}
+}
+
+// TestTryOnLiveBackend runs the core retry machinery end-to-end on the
+// live runtime: a try with a virtual-time budget must exhaust in scaled
+// real time, not the full virtual duration.
+func TestTryOnLiveBackend(t *testing.T) {
+	e := New(1, ts)
+	start := time.Now()
+	var terr error
+	attempts := 0
+	e.Spawn("client", func(p core.Proc) {
+		terr = core.Try(e.Context(), p, core.For(time.Minute), core.TryConfig{}, func(ctx context.Context) error {
+			attempts++
+			if err := p.Sleep(ctx, 5*time.Second); err != nil {
+				return err
+			}
+			return errors.New("always fails")
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var ex *core.ExhaustedError
+	if !errors.As(terr, &ex) {
+		t.Fatalf("try err = %v, want ExhaustedError", terr)
+	}
+	if attempts == 0 {
+		t.Fatal("no attempts ran")
+	}
+	if real := time.Since(start); real > 5*time.Second {
+		t.Fatalf("1-minute virtual try took %v real time: timescale not applied", real)
+	}
+}

@@ -1,0 +1,139 @@
+package live
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Resource is the live backend's FIFO counting semaphore. State is
+// guarded by the engine lock; waiters park on a private channel with
+// the lock released, so the wall-clock order in which contenders reach
+// the queue decides the grant order — real contention, unlike the
+// simulator's deterministic interleaving.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// Stats, readable under the engine lock.
+	Acquires int64 // successful acquisitions
+	Rejects  int64 // TryAcquire failures
+	Timeouts int64 // waiters abandoned by cancellation
+}
+
+type resWaiter struct {
+	ch      chan struct{}
+	granted bool
+	gone    bool
+}
+
+var _ core.Resource = (*Resource)(nil)
+
+func newResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 0 {
+		panic("live: negative resource capacity")
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Available returns the number of free units — the carrier-sense
+// observable.
+func (r *Resource) Available() int { return r.capacity - r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int {
+	n := 0
+	for _, w := range r.waiters {
+		if !w.gone && !w.granted {
+			n++
+		}
+	}
+	return n
+}
+
+// SetCapacity adjusts capacity at runtime. Shrinking below inUse is
+// allowed; units drain as they are released. Growing grants queued
+// waiters immediately.
+func (r *Resource) SetCapacity(n int) {
+	r.capacity = n
+	r.grantWaiters()
+}
+
+// TryAcquire takes one unit without waiting, reporting success.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.Acquires++
+		return true
+	}
+	r.Rejects++
+	return false
+}
+
+// Acquire takes one unit, parking the process in FIFO order until one
+// is free or ctx is canceled (returning the cancellation cause). If a
+// grant and a cancellation race, the grant wins: the caller owns the
+// unit and must Release it.
+func (r *Resource) Acquire(p core.Proc, ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if r.inUse < r.capacity && r.QueueLen() == 0 {
+		r.inUse++
+		r.Acquires++
+		return nil
+	}
+	w := &resWaiter{ch: make(chan struct{}, 1)}
+	r.waiters = append(r.waiters, w)
+	r.eng.mu.Unlock()
+	select {
+	case <-w.ch:
+	case <-ctx.Done():
+	}
+	r.eng.mu.Lock()
+	if w.granted {
+		return nil
+	}
+	w.gone = true
+	r.Timeouts++
+	return ctx.Err()
+}
+
+// Release returns one unit and grants it to the oldest live waiter, if
+// any. Releasing more than was acquired panics: that is a harness bug.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("live: Release of idle resource " + r.name)
+	}
+	r.inUse--
+	r.grantWaiters()
+}
+
+// grantWaiters hands free units to queued waiters in FIFO order.
+// Engine lock held.
+func (r *Resource) grantWaiters() {
+	for len(r.waiters) > 0 && r.inUse < r.capacity {
+		w := r.waiters[0]
+		if w.gone {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		r.waiters = r.waiters[1:]
+		w.granted = true
+		r.inUse++
+		r.Acquires++
+		w.ch <- struct{}{}
+	}
+}

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lease"
-	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -95,7 +94,7 @@ type Server struct {
 }
 
 // NewServer creates a replica on engine e.
-func NewServer(e *sim.Engine, name string, blackHole bool, cfg Config) *Server {
+func NewServer(e core.Backend, name string, blackHole bool, cfg Config) *Server {
 	cfg.fillDefaults()
 	return &Server{
 		Name:      name,
@@ -123,7 +122,7 @@ func (s *Server) QueueLen() int { return s.lane.QueueLen() }
 // fetch serializes on the server's single service lane and simulates
 // moving size bytes. On a black hole the client blocks until its
 // context is canceled.
-func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
+func (s *Server) fetch(p core.Proc, ctx context.Context, size int64) error {
 	if err := p.Sleep(ctx, s.cfg.ConnectTime); err != nil {
 		return err
 	}
@@ -167,7 +166,7 @@ func (s *Server) fetch(p *sim.Proc, ctx context.Context, size int64) error {
 // sleepRenewing sleeps for d, renewing the lease each half-quantum so
 // an actively transferring client is never mistaken for a stuck one.
 // With unlimited tenure it is a single plain sleep.
-func (s *Server) sleepRenewing(p *sim.Proc, ctx context.Context, l *lease.Lease, d time.Duration) error {
+func (s *Server) sleepRenewing(p core.Proc, ctx context.Context, l *lease.Lease, d time.Duration) error {
 	q := s.lane.Quantum()
 	if q <= 0 {
 		return p.Sleep(ctx, d)
@@ -208,7 +207,7 @@ func (s *Server) holdErr(ctx context.Context, l *lease.Lease, err error) error {
 }
 
 // FetchData downloads the full payload file.
-func (s *Server) FetchData(p *sim.Proc, ctx context.Context) error {
+func (s *Server) FetchData(p core.Proc, ctx context.Context) error {
 	if err := s.fetch(p, ctx, s.cfg.FileSize); err != nil {
 		return err
 	}
@@ -218,7 +217,7 @@ func (s *Server) FetchData(p *sim.Proc, ctx context.Context) error {
 
 // FetchFlag downloads the one-byte flag file — the cheap availability
 // probe of the Ethernet reader.
-func (s *Server) FetchFlag(p *sim.Proc, ctx context.Context) error {
+func (s *Server) FetchFlag(p core.Proc, ctx context.Context) error {
 	if err := s.fetch(p, ctx, s.cfg.FlagSize); err != nil {
 		return err
 	}
@@ -285,7 +284,7 @@ type Event struct {
 
 // ReadOnce performs one work unit: fetch the file from any server,
 // within the outer limit. It implements the two paper scripts.
-func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) error {
+func (r *Reader) ReadOnce(p core.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) error {
 	tr := cfg.Trace
 	// The outer try records the work-unit span and its backoff intervals;
 	// attempt events are emitted per server branch below, because the
@@ -306,7 +305,7 @@ func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, c
 						return ctx.Err()
 					}
 					r.Deferrals++
-					r.Events = append(r.Events, Event{Kind: EvDeferral, At: p.Engine().Elapsed()})
+					r.Events = append(r.Events, Event{Kind: EvDeferral, At: p.Elapsed()})
 					tr.Defer(srv.Name)
 					return core.Deferred(srv.Name)
 				}
@@ -322,12 +321,12 @@ func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, c
 					return ctx.Err()
 				}
 				r.Collisions++
-				r.Events = append(r.Events, Event{Kind: EvCollision, At: p.Engine().Elapsed()})
+				r.Events = append(r.Events, Event{Kind: EvCollision, At: p.Elapsed()})
 				tr.Collision(srv.Name)
 				return core.Collision(srv.Name, derr)
 			}
 			r.Done++
-			r.Events = append(r.Events, Event{Kind: EvTransfer, At: p.Engine().Elapsed()})
+			r.Events = append(r.Events, Event{Kind: EvTransfer, At: p.Elapsed()})
 			tr.Success()
 			return nil
 		})
@@ -338,7 +337,7 @@ func (r *Reader) ReadOnce(p *sim.Proc, ctx context.Context, servers []*Server, c
 // Loop repeats ReadOnce until ctx is canceled, the paper's "each client
 // repeatedly attempts to read a 100 MB file from a server chosen at
 // random".
-func (r *Reader) Loop(p *sim.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) {
+func (r *Reader) Loop(p core.Proc, ctx context.Context, servers []*Server, cfg ReaderConfig) {
 	p.SetTracer(cfg.Trace)
 	for ctx.Err() == nil {
 		_ = r.ReadOnce(p, ctx, servers, cfg)

@@ -12,15 +12,15 @@ import (
 
 func mkServers(e *sim.Engine, cfg Config, blackHoleFirst bool) []*Server {
 	return []*Server{
-		NewServer(e, "xxx", blackHoleFirst, cfg),
-		NewServer(e, "yyy", false, cfg),
-		NewServer(e, "zzz", false, cfg),
+		NewServer(e.RT(), "xxx", blackHoleFirst, cfg),
+		NewServer(e.RT(), "yyy", false, cfg),
+		NewServer(e.RT(), "zzz", false, cfg),
 	}
 }
 
 func TestIdealTransferTakesTenSeconds(t *testing.T) {
 	e := sim.New(1)
-	srv := NewServer(e, "s", false, Config{})
+	srv := NewServer(e.RT(), "s", false, Config{})
 	var err error
 	e.Spawn("c", func(p *sim.Proc) {
 		err = srv.FetchData(p, e.Context())
@@ -40,7 +40,7 @@ func TestIdealTransferTakesTenSeconds(t *testing.T) {
 
 func TestSingleThreadedServerSerializes(t *testing.T) {
 	e := sim.New(1)
-	srv := NewServer(e, "s", false, Config{})
+	srv := NewServer(e.RT(), "s", false, Config{})
 	var finish []time.Duration
 	for i := 0; i < 2; i++ {
 		e.Spawn("c", func(p *sim.Proc) {
@@ -64,7 +64,7 @@ func TestSingleThreadedServerSerializes(t *testing.T) {
 
 func TestBlackHoleHangsUntilTimeout(t *testing.T) {
 	e := sim.New(1)
-	srv := NewServer(e, "bh", true, Config{})
+	srv := NewServer(e.RT(), "bh", true, Config{})
 	var err error
 	e.Spawn("c", func(p *sim.Proc) {
 		ctx, cancel := p.WithTimeout(e.Context(), 60*time.Second)
@@ -239,11 +239,11 @@ func TestTransientBlackHoleRecovery(t *testing.T) {
 	// 60-second collisions at any point.
 	e := sim.New(7)
 	cfg := Config{}
-	sick := NewServer(e, "xxx", true, cfg)
+	sick := NewServer(e.RT(), "xxx", true, cfg)
 	servers := []*Server{
 		sick,
-		NewServer(e, "yyy", false, cfg),
-		NewServer(e, "zzz", false, cfg),
+		NewServer(e.RT(), "yyy", false, cfg),
+		NewServer(e.RT(), "zzz", false, cfg),
 	}
 	e.Schedule(300*time.Second, func() { sick.SetBlackHole(false) })
 	ctx, cancel := e.WithTimeout(e.Context(), 900*time.Second)

@@ -28,12 +28,14 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Epoch is the virtual time origin: all virtual timestamps are offsets
-// from this instant. The particular date is arbitrary (it is the month
-// HPDC 12 took place) but fixed so traces are stable across runs.
-var Epoch = time.Date(2003, time.June, 22, 0, 0, 0, 0, time.UTC)
+// from this instant. It aliases core.Epoch so every backend shares the
+// same origin and traces are directly comparable.
+var Epoch = core.Epoch
 
 // Engine is a single-threaded discrete-event simulator. Create one with
 // New, add processes with Spawn, then call Run. Engine methods must only

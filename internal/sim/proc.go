@@ -31,7 +31,10 @@ var ErrProcKilled = errors.New("sim: process killed")
 
 // A Proc is the virtual-time implementation of the fault-tolerance
 // runtime; the same retry code drives simulations and real executions.
-var _ core.Runtime = (*Proc)(nil)
+var (
+	_ core.Runtime = (*Proc)(nil)
+	_ core.Proc    = (*Proc)(nil)
+)
 
 // Name returns the name given at Spawn time, for traces and tests.
 func (p *Proc) Name() string { return p.name }
@@ -48,6 +51,12 @@ func (p *Proc) Tracer() *trace.Client { return p.tracer }
 
 // Engine returns the engine this process belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
+
+// Schedule arranges fn to run at virtual time now+d on the process's
+// engine, satisfying the backend-neutral core.Proc interface.
+func (p *Proc) Schedule(d time.Duration, fn func()) core.Timer {
+	return p.eng.Schedule(d, fn)
+}
 
 // Now reports the current virtual time.
 func (p *Proc) Now() time.Time { return p.eng.Now() }

@@ -1,6 +1,10 @@
 package sim
 
-import "context"
+import (
+	"context"
+
+	"repro/internal/core"
+)
 
 // Resource is a FIFO counting semaphore in virtual time. It models
 // serially-shared services such as a single-threaded data server (capacity
@@ -23,6 +27,8 @@ type resWaiter struct {
 	granted bool
 	gone    bool
 }
+
+var _ core.Resource = (*Resource)(nil)
 
 // NewResource returns a resource with the given capacity.
 func NewResource(e *Engine, name string, capacity int) *Resource {
@@ -76,8 +82,10 @@ func (r *Resource) TryAcquire() bool {
 }
 
 // Acquire takes one unit, parking the process in FIFO order until one is
-// free or ctx is canceled (returning the cancellation cause).
-func (r *Resource) Acquire(p *Proc, ctx context.Context) error {
+// free or ctx is canceled (returning the cancellation cause). The
+// process must belong to this resource's engine.
+func (r *Resource) Acquire(cp core.Proc, ctx context.Context) error {
+	p := cp.(*Proc)
 	if err := ctx.Err(); err != nil {
 		return err
 	}

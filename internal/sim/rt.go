@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RT adapts an Engine to the backend-neutral core.Backend interface.
+// The Engine's own methods keep their concrete types (*Ctx, *rand.Rand,
+// sim.Timer, func(*Proc)) for the engine's direct users and the
+// zero-allocation hot path; RT shadows exactly the methods whose
+// signatures differ, boxing only at setup-rate call sites (Spawn,
+// Schedule, NewResource). Obtain one with Engine.RT.
+type RT struct{ *Engine }
+
+var _ core.Backend = RT{}
+
+// RT returns the engine as a core.Backend.
+func (e *Engine) RT() RT { return RT{e} }
+
+// Rand implements core.Backend, drawing from the engine's deterministic
+// source.
+func (r RT) Rand() float64 { return r.Engine.rng.Float64() }
+
+// Context implements core.Backend with the root simulation context.
+func (r RT) Context() context.Context { return r.Engine.root }
+
+// Spawn implements core.Backend; the process runs under the engine
+// token exactly as with Engine.Spawn.
+func (r RT) Spawn(name string, fn func(p core.Proc)) {
+	r.Engine.Spawn(name, func(p *Proc) { fn(p) })
+}
+
+// Schedule implements core.Backend, boxing the engine's value-type
+// timer handle.
+func (r RT) Schedule(d time.Duration, fn func()) core.Timer {
+	return r.Engine.Schedule(d, fn)
+}
+
+// NewResource implements core.Backend.
+func (r RT) NewResource(name string, capacity int) core.Resource {
+	return NewResource(r.Engine, name, capacity)
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// CheckError reports the first causal well-formedness violation found
+// in a trace, locating it by thread and event index.
+type CheckError struct {
+	TID   int32
+	Index int // index into the flat event log
+	Event Event
+	Rule  string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("trace: thread %d event %d (%s at %v): %s",
+		e.TID, e.Index, e.Event.Kind, e.Event.At, e.Rule)
+}
+
+// Check verifies the causal well-formedness of a recorded trace: the
+// per-thread event grammar every emitter in this repository follows,
+// regardless of backend. It is the differential harness's structural
+// oracle — the simulator and the live backend interleave threads
+// differently, but each thread's own timeline must obey the same rules:
+//
+//   - timestamps are non-decreasing within a thread;
+//   - spans nest (every SpanEnd closes the innermost open span's id);
+//   - backoff intervals do not nest and never end without starting;
+//   - every Success, Failure, or Collision closes an open Attempt
+//     (attempts may nest: an ftsh try inside a forany body);
+//   - a Defer follows a busy carrier sense on its thread;
+//   - a second Probe does not occur before the first's CarrierSense;
+//   - per resource, units released or revoked never exceed units
+//     acquired at any point in the thread's timeline.
+//
+// Truncation is legal: a run's window can cancel a thread between a
+// begin and its end, so open spans, a pending probe, an unfinished
+// backoff, and positively held units at end-of-trace are not errors.
+// A nil error means the trace is well-formed.
+func Check(t *Tracer) error {
+	if t == nil {
+		return nil
+	}
+	return CheckEvents(t.Events())
+}
+
+// checkState is the per-thread grammar automaton.
+type checkState struct {
+	lastAt       time.Duration
+	spans        []int64
+	inBackoff    bool
+	probePending bool
+	senseBusy    bool // last carrier sense on this thread was busy
+	attemptDepth int
+	held         map[string]int64 // resource site -> units held
+}
+
+// CheckEvents is Check on a raw event log in emission order.
+func CheckEvents(evs []Event) error {
+	threads := map[int32]*checkState{}
+	for i, ev := range evs {
+		ts := threads[ev.TID]
+		if ts == nil {
+			ts = &checkState{held: map[string]int64{}}
+			threads[ev.TID] = ts
+		}
+		fail := func(rule string) error {
+			return &CheckError{TID: ev.TID, Index: i, Event: ev, Rule: rule}
+		}
+		if ev.At < ts.lastAt {
+			return fail(fmt.Sprintf("timestamp went backwards (previous %v)", ts.lastAt))
+		}
+		ts.lastAt = ev.At
+
+		switch ev.Kind {
+		case KSpanBegin:
+			ts.spans = append(ts.spans, ev.Arg)
+		case KSpanEnd:
+			if len(ts.spans) == 0 {
+				return fail("span end with no open span")
+			}
+			if top := ts.spans[len(ts.spans)-1]; top != ev.Arg {
+				return fail(fmt.Sprintf("span end id %d does not close innermost span %d", ev.Arg, top))
+			}
+			ts.spans = ts.spans[:len(ts.spans)-1]
+		case KBackoffStart:
+			if ts.inBackoff {
+				return fail("backoff started inside a backoff")
+			}
+			ts.inBackoff = true
+		case KBackoffEnd:
+			if !ts.inBackoff {
+				return fail("backoff end with no backoff in progress")
+			}
+			ts.inBackoff = false
+		case KProbe:
+			if ts.probePending {
+				return fail("second probe before the first's carrier sense")
+			}
+			ts.probePending = true
+		case KCarrierSense:
+			ts.probePending = false
+			ts.senseBusy = ev.Arg != 0
+		case KDefer:
+			if !ts.senseBusy {
+				return fail("defer without a preceding busy carrier sense")
+			}
+		case KAttempt:
+			ts.attemptDepth++
+		case KSuccess, KFailure, KCollision:
+			if ts.attemptDepth == 0 {
+				return fail("attempt outcome with no open attempt")
+			}
+			ts.attemptDepth--
+		case KAcquire:
+			ts.held[ev.Site] += ev.Arg
+		case KRelease, KRevoke:
+			ts.held[ev.Site] -= ev.Arg
+			if ts.held[ev.Site] < 0 {
+				return fail(fmt.Sprintf("released %d more unit(s) of %q than acquired", -ts.held[ev.Site], ev.Site))
+			}
+		}
+	}
+	return nil
+}

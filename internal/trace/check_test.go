@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckNil(t *testing.T) {
+	if err := Check(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckWellFormedTrace(t *testing.T) {
+	// One client running a full Ethernet cycle: sense-idle, attempt,
+	// collision, backoff, sense-busy, defer, attempt, success — wrapped
+	// in a span, with a resource tenure inside the winning attempt.
+	tr := New()
+	c := &fakeClock{}
+	cl := tr.NewClient("Ethernet", "client-0", c.read)
+	span := cl.SpanBegin("submit")
+	cl.Probe("file-nr")
+	cl.CarrierSense("file-nr", false)
+	cl.Attempt()
+	cl.Collision("file-nr")
+	cl.BackoffStart(time.Second, "collision")
+	c.advance(time.Second)
+	cl.BackoffEnd()
+	cl.Probe("file-nr")
+	cl.CarrierSense("file-nr", true)
+	cl.Defer("file-nr")
+	cl.BackoffStart(2*time.Second, "defer")
+	c.advance(2 * time.Second)
+	cl.BackoffEnd()
+	cl.Probe("file-nr")
+	cl.CarrierSense("file-nr", false)
+	cl.Attempt()
+	cl.Acquire("slot", 1)
+	cl.Release("slot", 1)
+	cl.Success()
+	cl.SpanEnd(span)
+	if err := Check(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAllowsTruncation(t *testing.T) {
+	// A window cancellation can cut a thread between any begin and its
+	// end: open span, pending probe, unfinished backoff, held units.
+	tr := New()
+	c := &fakeClock{}
+	cl := tr.NewClient("Ethernet", "client-0", c.read)
+	cl.SpanBegin("submit")
+	cl.Attempt()
+	cl.Acquire("slot", 1)
+	cl.BackoffStart(time.Second, "failure")
+	if err := Check(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckAllowsNestedAttempts(t *testing.T) {
+	// A try inside a forany body: both attempts open before either
+	// outcome lands.
+	tr := New()
+	c := &fakeClock{}
+	cl := tr.NewClient("Aloha", "client-0", c.read)
+	cl.Attempt()
+	cl.Attempt()
+	cl.Success()
+	cl.Success()
+	if err := Check(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInterleavedThreadsIndependent(t *testing.T) {
+	// Violations are per-thread: two threads' events interleaved in the
+	// flat log must each be checked against their own state.
+	tr := New()
+	c := &fakeClock{}
+	a := tr.NewClient("Ethernet", "a", c.read)
+	b := tr.NewClient("Ethernet", "b", c.read)
+	sa := a.SpanBegin("x")
+	sb := b.SpanBegin("y")
+	a.Attempt()
+	b.Attempt()
+	b.Success()
+	a.Success()
+	b.SpanEnd(sb)
+	a.SpanEnd(sa)
+	if err := Check(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// violation builds a trace with the given emission script and asserts
+// Check reports a CheckError mentioning rule.
+func violation(t *testing.T, rule string, script func(cl *Client, c *fakeClock)) {
+	t.Helper()
+	tr := New()
+	c := &fakeClock{}
+	cl := tr.NewClient("Ethernet", "client-0", c.read)
+	script(cl, c)
+	err := Check(tr)
+	if err == nil {
+		t.Fatalf("Check passed, want violation %q", rule)
+	}
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *CheckError", err)
+	}
+	if !strings.Contains(err.Error(), rule) {
+		t.Fatalf("err = %v, want mention of %q", err, rule)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	violation(t, "timestamp went backwards", func(cl *Client, c *fakeClock) {
+		c.advance(time.Second)
+		cl.Attempt()
+		c.now = 0
+		cl.Success()
+	})
+	violation(t, "no open span", func(cl *Client, c *fakeClock) {
+		cl.SpanEnd(7)
+	})
+	violation(t, "does not close innermost span", func(cl *Client, c *fakeClock) {
+		outer := cl.SpanBegin("outer")
+		cl.SpanBegin("inner")
+		cl.SpanEnd(outer)
+	})
+	violation(t, "backoff started inside a backoff", func(cl *Client, c *fakeClock) {
+		cl.BackoffStart(time.Second, "failure")
+		cl.BackoffStart(time.Second, "failure")
+	})
+	violation(t, "backoff end with no backoff", func(cl *Client, c *fakeClock) {
+		cl.BackoffEnd()
+	})
+	violation(t, "second probe", func(cl *Client, c *fakeClock) {
+		cl.Probe("file-nr")
+		cl.Probe("file-nr")
+	})
+	violation(t, "defer without a preceding busy carrier sense", func(cl *Client, c *fakeClock) {
+		cl.Probe("file-nr")
+		cl.CarrierSense("file-nr", false)
+		cl.Defer("file-nr")
+	})
+	violation(t, "outcome with no open attempt", func(cl *Client, c *fakeClock) {
+		cl.Success()
+	})
+	violation(t, "more unit(s)", func(cl *Client, c *fakeClock) {
+		cl.Acquire("slot", 1)
+		cl.Release("slot", 2)
+	})
+}
+
+// advance moves the shared test clock (see trace_test.go) forward.
+func (f *fakeClock) advance(d time.Duration) { f.now += d }

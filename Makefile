@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke golden ci
 
 all: build
 
@@ -54,8 +54,16 @@ fuzz-smoke:
 diff-smoke:
 	$(GO) test ./internal/expt -run TestDiff -count=1
 
+# Reservation/admission-control gate: the interval book's property
+# suite (no-overlap, conservation, FIFO — 25+ seeds with a shrinker)
+# under the race detector, plus both regimes of the reservation-vs-
+# Ethernet comparison and the FigRes sweep at smoke scale.
+res-smoke:
+	$(GO) test -race ./internal/lease -run TestBook -count=1
+	$(GO) test -race ./internal/expt -run 'TestRes|TestFigRes' -count=1
+
 # Rewrite the gridbench golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke

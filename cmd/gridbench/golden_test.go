@@ -63,6 +63,9 @@ func TestGoldenFig7Chaos(t *testing.T) {
 	golden(t, "fig7_chaos", "-fig", "7", "-scale", "0.2", "-chaos", "mixed", "-check")
 }
 func TestGoldenFigLATable(t *testing.T) { golden(t, "figla_table", "-fig", "la", "-scale", "0.1") }
+func TestGoldenFigResTable(t *testing.T) {
+	golden(t, "figres_table", "-fig", "res", "-scale", "0.1")
+}
 
 func TestDeterministicWithChaos(t *testing.T) {
 	args := []string{"-fig", "3", "-scale", "0.1", "-chaos", "mixed", "-check"}

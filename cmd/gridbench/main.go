@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gridbench [-fig N|la] [-seed S] [-scale F] [-format table|tsv]
+//	gridbench [-fig N|la|res] [-seed S] [-scale F] [-format table|tsv]
 //	          [-backend sim|live] [-timescale F]
 //	          [-parallel N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
@@ -16,7 +16,11 @@
 // "la" is this repository's limited-allocation ablation: the Ethernet
 // submitter population under a stuck-holder fault plan, with and
 // without leased FD tenure (throughput, Jain's fairness index, and
-// starvation accounting; see internal/lease).
+// starvation accounting; see internal/lease). Figure "res" is the
+// reservation/admission-control ablation: the fourth discipline booked
+// on an admission book, head-to-head against leased Ethernet, fault-free
+// and under the res-flap plan (see internal/lease.Book and
+// internal/expt.FigRes).
 //
 // -chaos regenerates the figures under a named fault-injection plan
 // (see internal/chaos; plans: bursts, crashes, flap, latency, mixed,
@@ -164,13 +168,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *check {
 		opt.Check = &chaos.Recorder{}
 	}
-	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la"}
+	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la", "res"}
 	if *fig != "" {
 		switch *fig {
-		case "1", "2", "3", "4", "5", "6", "7", "la":
+		case "1", "2", "3", "4", "5", "6", "7", "la", "res":
 			figs = []string{*fig}
 		default:
-			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation)\n", *fig)
+			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation)\n", *fig)
 			return 2
 		}
 	}
@@ -233,6 +237,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			r.dump(la.Throughput)
 			fmt.Fprintf(r.w, "# fairness: Jain's index x100, watchdog revocations, starvation excursions, longest unleased wait\n")
 			r.dump(la.Fairness)
+		case "res":
+			r.header("RES", "Reservation Ablation", "admission-booked vs leased Ethernet submitters, fault-free and under res-flap chaos")
+			ra := expt.FigRes(opt)
+			r.dump(ra.Throughput)
+			fmt.Fprintf(r.w, "# admission: book rejections (steady/flap), dead windows and lapses under flap, Ethernet flap crashes\n")
+			r.dump(ra.Admission)
 		}
 		// Single-discipline figures: re-run the other disciplines into
 		// the same trace so the summary compares all three on one seed.

@@ -88,6 +88,24 @@ var presets = map[string]func(seed int64) *Plan{
 			StuckHolder{Window: w, Site: replica.InjectHold, Prob: 0.08},
 		}}
 	},
+	// res-flap: the reservation discipline's nightmare regime — the
+	// schedd flaps up and down while admitted holders wedge mid-window.
+	// An admission book keeps charging for a wedged holder's window
+	// until its boundary passes, so every stuck holder converts booked
+	// capacity into dead capacity for the rest of its window; the same
+	// wedge under leased Ethernet costs at most one (much shorter)
+	// revocation quantum. A replica flap rides along so the reader
+	// variant of the sweep sees the same regime.
+	"res-flap": func(seed int64) *Plan {
+		w := Window{FracStart: 0.1, FracDuration: 0.7, FracStartJitter: 0.15}
+		return &Plan{Name: "res-flap", Seed: seed, Specs: []Spec{
+			ScheddCrash{FracAt: 0.15, FracEvery: 0.12, Count: 5},
+			StuckHolder{Window: w, Site: condor.InjectHold, Prob: 0.12},
+			StuckHolder{Window: w, Site: fsbuffer.InjectHold, Prob: 0.12},
+			StuckHolder{Window: w, Site: replica.InjectHold, Prob: 0.12},
+			ServerFlap{Window: w, Server: 1, FracPeriod: 0.06},
+		}}
+	},
 	// mixed: a lighter dose of everything at once.
 	"mixed": func(seed int64) *Plan {
 		p := &Plan{Name: "mixed", Seed: seed, Specs: []Spec{

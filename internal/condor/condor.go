@@ -391,9 +391,27 @@ func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 		return s.submitErr(outer, l1, l2)
 	}
 
+	// Connected on the client side: the schedd half of the submission is
+	// shared with the reservation path. Renewing l1 and l2 once the
+	// transfer begins keeps the holds inside their tenure quantum.
+	return s.serve(p, ctx, outer, func() {
+		l1.Renew()
+		l2.Renew()
+	}, l1, l2)
+}
+
+// serve is the schedd side of a submission, shared by Submit and
+// SubmitReserved: accept the connection (pinning schedd FDs, crashing
+// the daemon if it cannot), register for the crash broadcast, queue
+// for a service slot, and transfer the job. held lists the leases the
+// caller is working under, for abort classification; renew is called
+// once the transfer begins so the caller can extend those holds for
+// the service time.
+func (s *Schedd) serve(p core.Proc, ctx, outer context.Context, renew func(), held ...*lease.Lease) error {
+	tr := p.Tracer()
 	if s.down {
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
-			return s.submitErr(outer, l1, l2)
+			return s.submitErr(outer, held...)
 		}
 		return core.Collision("schedd", ErrScheddDown)
 	}
@@ -404,12 +422,13 @@ func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 	if !ok {
 		s.crash()
 		if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
-			return s.submitErr(outer, l1, l2)
+			return s.submitErr(outer, held...)
 		}
 		return core.Collision("schedd", ErrScheddCrashed)
 	}
 	defer l3.Release()
 	ctx = l3.Ctx()
+	all := append(append([]*lease.Lease{}, held...), l3)
 
 	// Register for the crash broadcast.
 	connCtx, cancel := s.eng.WithCancel(ctx)
@@ -421,7 +440,7 @@ func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 
 	// Queue for a service slot, then transfer the job.
 	if err := s.slots.Acquire(p, connCtx); err != nil {
-		return s.submitErr(outer, l1, l2, l3)
+		return s.submitErr(outer, all...)
 	}
 	tr.Acquire("slot", 1)
 	defer func() {
@@ -430,8 +449,7 @@ func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 	}()
 	// Connected and in service: the holds are now doing useful work,
 	// so renew their tenure for the transfer.
-	l1.Renew()
-	l2.Renew()
+	renew()
 	l3.Renew()
 	// Service slows as more clients are connected: the CPU, memory, and
 	// disk of the submit machine are themselves shared resources.
@@ -444,13 +462,13 @@ func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 		d += f.Delay
 		if f.Err != nil {
 			if err := p.Sleep(connCtx, d); err != nil {
-				return s.submitErr(outer, l1, l2, l3)
+				return s.submitErr(outer, all...)
 			}
 			return core.Collision("schedd", f.Err)
 		}
 	}
 	if err := p.Sleep(connCtx, d); err != nil {
-		return s.submitErr(outer, l1, l2, l3)
+		return s.submitErr(outer, all...)
 	}
 	s.Jobs++
 	return nil

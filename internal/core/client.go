@@ -7,11 +7,12 @@ import (
 	"repro/internal/trace"
 )
 
-// Discipline selects one of the three client behaviours evaluated in §5
-// of the paper.
+// Discipline selects one of the client behaviours evaluated in §5 of
+// the paper, plus the reservation rival the paper argues against.
 type Discipline int
 
-// The three disciplines compared throughout the paper's evaluation.
+// The three disciplines compared throughout the paper's evaluation,
+// plus Reservation, the advance-booking alternative.
 const (
 	// Fixed "aggressively repeats its assigned work without delay and
 	// without regard to any sort of failure."
@@ -23,6 +24,13 @@ const (
 	// piece of code to perform carrier sense before accessing a
 	// resource."
 	Ethernet
+	// Reservation books a capacity window in advance instead of sensing
+	// and backing off: admission is granted or refused outright by an
+	// interval book (lease.Book), and a granted window is enforced
+	// server-side by the lease watchdog. This is the up-front admission
+	// model of bandwidth-reservation frameworks, added here as the rival
+	// the paper never tests.
+	Reservation
 )
 
 // String names the discipline as in the paper's figure legends.
@@ -34,13 +42,22 @@ func (d Discipline) String() string {
 		return "Aloha"
 	case Ethernet:
 		return "Ethernet"
+	case Reservation:
+		return "Reservation"
 	default:
 		return "unknown"
 	}
 }
 
-// Disciplines lists all three in figure order.
+// Disciplines lists the paper's three disciplines in figure order. The
+// seed figures (Fig 1-7) compare exactly these; Reservation joins only
+// the figures that study it (FigRes), so the seed goldens stay
+// byte-identical.
 var Disciplines = []Discipline{Ethernet, Aloha, Fixed}
+
+// AllDisciplines lists all four disciplines in figure order — the
+// matrix the chaos sweeps and the differential harness cover.
+var AllDisciplines = []Discipline{Ethernet, Aloha, Fixed, Reservation}
 
 // ParseDiscipline converts a legend name to a Discipline.
 func ParseDiscipline(s string) (Discipline, bool) {
@@ -51,6 +68,8 @@ func ParseDiscipline(s string) (Discipline, bool) {
 		return Aloha, true
 	case "Ethernet", "ethernet":
 		return Ethernet, true
+	case "Reservation", "reservation", "res":
+		return Reservation, true
 	}
 	return 0, false
 }
@@ -95,6 +114,11 @@ func (c *Client) Do(ctx context.Context, op Op) error {
 		// plain try: backoff, no sense
 	case Ethernet:
 		cfg.Sense = c.Sense
+	case Reservation:
+		// Backoff like Aloha, but no carrier sense: admission lives in
+		// the op itself, which asks the substrate's reservation book for
+		// a window and surfaces a typed RejectedError when the book is
+		// full. Try classifies that rejection separately from busy.
 	}
 	return Try(ctx, c.Rt, c.Limit, cfg, op)
 }

@@ -44,6 +44,41 @@ func IsCollision(err error) bool { return errors.Is(err, ErrCollision) }
 // IsDeferred reports whether err is or wraps ErrDeferred.
 func IsDeferred(err error) bool { return errors.Is(err, ErrDeferred) }
 
+// RejectedError marks an attempt refused outright by an admission
+// controller before any resource was consumed: the reservation book
+// saying "no capacity over the requested window". It is distinct from
+// the three sentinel kinds above — a collision is contention discovered
+// *after* consuming the resource, a deferral is the client's own
+// carrier sense standing down, but a rejection is the resource's
+// verdict, and it is the only kind that carries a measure of how full
+// the resource was.
+type RejectedError struct {
+	Resource  string // the admission-controlled resource ("fds", "yyy", ...)
+	Shortfall int64  // units the request exceeded remaining capacity by (always > 0)
+}
+
+// Error implements the error interface.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("%s: rejected by admission: %d unit(s) over capacity", e.Resource, e.Shortfall)
+}
+
+// Rejected builds a typed admission rejection on resource name.
+func Rejected(name string, shortfall int64) error {
+	return &RejectedError{Resource: name, Shortfall: shortfall}
+}
+
+// IsRejected reports whether err is or wraps a *RejectedError.
+func IsRejected(err error) bool { return Rejection(err) != nil }
+
+// Rejection extracts the typed rejection from err's chain, or nil.
+func Rejection(err error) *RejectedError {
+	var re *RejectedError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
+}
+
 // ExhaustedError reports why a Try gave up: its budget of time and/or
 // attempts ran out. Last holds the most recent attempt's error.
 type ExhaustedError struct {

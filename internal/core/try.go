@@ -43,6 +43,7 @@ const (
 	EvDefer                  // carrier sense deferred the attempt
 	EvBackoff                // the client is sleeping before a retry
 	EvExhausted              // the try gave up
+	EvReject                 // an admission controller refused the attempt outright
 )
 
 // String names the event kind.
@@ -62,6 +63,8 @@ func (e Event) String() string {
 		return "backoff"
 	case EvExhausted:
 		return "exhausted"
+	case EvReject:
+		return "reject"
 	default:
 		return "unknown"
 	}
@@ -204,6 +207,14 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 				trigger = "collision"
 				obs.Observe(EvCollision, rt.Now(), err)
 				etr.Collision(cfg.Site)
+			case IsRejected(err):
+				// Admission control refused the attempt before any
+				// resource was consumed. The backoff that follows is a
+				// penalty like a collision's, but observers can tell the
+				// two apart — the book was full, the wire was not hot.
+				trigger = "reject"
+				obs.Observe(EvReject, rt.Now(), err)
+				etr.Reject(cfg.Site, Rejection(err).Shortfall)
 			default:
 				if IsDeferred(err) {
 					// The op itself deferred (e.g. a forany whose every

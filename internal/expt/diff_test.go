@@ -268,6 +268,131 @@ func collisionBudget(opt Options) int64 {
 	return 0
 }
 
+// TestDiffReservationRegimes runs the reservation-vs-Ethernet cells on
+// both backends, both regimes. Fault-free, admission control must win
+// (and structurally cannot crash the schedd: the client descriptor
+// share lives in the book, not the FD table); under the res-flap plan
+// it must collapse below Ethernet, because the book keeps charging for
+// wedged holders' windows until each boundary. Every cell's trace runs
+// the causal checker, which now enforces the reserve → admit/reject
+// grammar for the fourth discipline.
+func TestDiffReservationRegimes(t *testing.T) {
+	forEachDiff(t, func(t *testing.T, opt Options, seed int64) {
+		if opt.Backend == BackendLive {
+			opt.Timescale = leaseTimescale
+		}
+		window := 2 * time.Minute
+		const n = 20
+		quantum := leaseQuantum(window)
+		run := func(plan *chaos.Plan) (*ResCellResult, *LeaseCellResult) {
+			rtr := trace.New()
+			ropt := opt
+			ropt.Trace = rtr
+			rs := ResCell(ropt, seed, n, window, plan, nil)
+			checkTrace(t, rtr)
+			etr := trace.New()
+			eopt := opt
+			eopt.Trace = etr
+			es := LeaseCell(eopt, seed, n, window, quantum, plan, nil)
+			checkTrace(t, etr)
+			return rs, es
+		}
+
+		rs, es := run(nil)
+		t.Logf("steady: res jobs=%d rejects=%d revokes=%d crashes=%d  eth jobs=%d crashes=%d",
+			rs.Jobs, rs.Rejects, rs.Revokes, rs.Crashes, es.Jobs, es.Crashes)
+		if rs.Jobs == 0 {
+			t.Fatal("reservation cell submitted nothing")
+		}
+		if rs.Rejects == 0 {
+			t.Error("book never rejected: admission capacity is not binding")
+		}
+		if rs.Crashes != 0 {
+			t.Errorf("admission control let the schedd crash %d times", rs.Crashes)
+		}
+		if opt.Backend == BackendLive {
+			atLeast(t, "steady res >= eth jobs", float64(rs.Jobs), float64(es.Jobs), 0.15)
+			// Compressed-time jitter may expire a whisker of honest claims.
+			if rs.Revokes > 2 {
+				t.Errorf("steady revokes = %d, want <= 2 on live", rs.Revokes)
+			}
+		} else {
+			if rs.Jobs < es.Jobs {
+				t.Errorf("steady regime inverted: res=%d < eth=%d", rs.Jobs, es.Jobs)
+			}
+			if rs.Revokes != 0 {
+				t.Errorf("steady cell revoked %d claims: windows too tight", rs.Revokes)
+			}
+		}
+
+		plan, err := chaos.Preset("res-flap", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, ef := run(plan)
+		t.Logf("flap:   res jobs=%d rejects=%d revokes=%d  eth jobs=%d revokes=%d",
+			rf.Jobs, rf.Rejects, rf.Revokes, ef.Jobs, ef.Revokes)
+		if rf.Revokes == 0 {
+			t.Error("flap cell never revoked a claim: no dead windows")
+		}
+		if opt.Backend == BackendLive {
+			// The live Ethernet flap arm's absolute throughput swings with
+			// crash phasing the deterministic engine never explores, so the
+			// cross-arm flap ordering stays a sim-only claim. What must
+			// survive real concurrency: the flap arm did work, and the
+			// reservation book's collapse relative to its own steady state.
+			if ef.Jobs == 0 {
+				t.Fatal("ethernet flap arm did no work")
+			}
+			atLeast(t, "res collapse: steady >= 2x flap", float64(rs.Jobs), 2*float64(rf.Jobs), 0.15)
+		} else {
+			if rf.Jobs >= ef.Jobs {
+				t.Errorf("collapse regime inverted: res-flap=%d >= eth-flap=%d", rf.Jobs, ef.Jobs)
+			}
+			if rf.Jobs*2 >= rs.Jobs {
+				t.Errorf("res collapse too shallow: flap=%d vs steady=%d", rf.Jobs, rs.Jobs)
+			}
+			if rf.Rejects <= rs.Rejects {
+				t.Errorf("flap rejections %d not above steady %d: dead windows did not fill the book",
+					rf.Rejects, rs.Rejects)
+			}
+		}
+	})
+}
+
+// TestDiffReservationReader runs the black-hole scenario's reservation
+// reader on both backends: per-server admission books divert readers
+// from busy replicas without consuming them, so the reservation reader
+// transfers at least as much as Aloha while its trace satisfies the
+// booked-window grammar.
+func TestDiffReservationReader(t *testing.T) {
+	forEachDiff(t, func(t *testing.T, opt Options, seed int64) {
+		opt.Scale = 0.2
+		window := opt.scaleD(ReaderWindow)
+		run := func(d core.Discipline) *ReaderTimeline {
+			rcfg := replica.DefaultReaderConfig(d)
+			rcfg.OuterLimit = window
+			tr := trace.New()
+			tl := readerCellTraced(opt, seed, window, rcfg, nil, nil, tr)
+			checkTrace(t, tr)
+			return tl
+		}
+		res := run(core.Reservation)
+		aloha := run(core.Aloha)
+		t.Logf("transfers: R=%d A=%d  rejections: R=%d  collisions: R=%d A=%d",
+			res.TotalTransfers, aloha.TotalTransfers,
+			res.TotalRejections, res.TotalCollisions, aloha.TotalCollisions)
+		if res.TotalTransfers == 0 {
+			t.Fatal("reservation reader transferred nothing")
+		}
+		if res.TotalRejections == 0 {
+			t.Error("books never rejected: single-lane admission is not binding")
+		}
+		atLeast(t, "Reservation >= Aloha transfers",
+			float64(res.TotalTransfers), float64(aloha.TotalTransfers), 0.15)
+	})
+}
+
 // TestDiffLeaseNoStarvation runs the limited-allocation cell under the
 // stuck-holder fault plan on both backends: the watchdog must revoke
 // wedged tenures and no client may starve past the budget.

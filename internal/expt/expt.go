@@ -14,6 +14,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/core"
 	"repro/internal/fsbuffer"
+	"repro/internal/lease"
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/replica"
@@ -410,14 +411,22 @@ func BufferCell(seed int64, n int, window time.Duration, d core.Discipline, plan
 
 // bufferCellTraced is the traced core of BufferCell: when tr is non-nil
 // every producer gets its own trace thread under the discipline's
-// process.
+// process. The Reservation discipline runs the allocator-fronted
+// reserving producer of §5 instead of an optimistic writer; the
+// allocator grants tenure with a window-derived quantum, so a wedged
+// holder's promise is reclaimed instead of pinning buffer space.
 func bufferCellTraced(opt Options, seed int64, n int, window time.Duration, d core.Discipline, plan *chaos.Plan, rec *chaos.Recorder, tr *trace.Tracer) *fsbuffer.Buffer {
 	e := opt.newEngine(seed)
 	b := fsbuffer.New(e, fsbuffer.Config{})
+	var alloc *fsbuffer.Allocator
+	if d == core.Reservation {
+		alloc = fsbuffer.NewAllocator(e, b, 0)
+		alloc.SetLeaseQuantum(leaseQuantum(window))
+	}
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
 	if plan != nil {
-		plan.Arm(e, chaos.Targets{Window: window, Buffer: b, Trace: tr})
+		plan.Arm(e, chaos.Targets{Window: window, Buffer: b, Allocator: alloc, Trace: tr})
 	}
 	var inv *chaos.Invariants
 	if rec != nil {
@@ -436,6 +445,11 @@ func bufferCellTraced(opt Options, seed int64, n int, window time.Duration, d co
 			cfg.Trace = tr.NewClient(d.String(), fmt.Sprintf("producer-%d", j), e.Elapsed)
 		}
 		e.Spawn("producer", func(p core.Proc) {
+			if d == core.Reservation {
+				var rp fsbuffer.ReservingProducer
+				rp.Loop(p, ctx, alloc, j, cfg)
+				return
+			}
 			var pr fsbuffer.Producer
 			pr.Loop(p, ctx, b, j, cfg)
 		})
@@ -472,7 +486,7 @@ type ReaderTimeline struct {
 	Transfers *metrics.Series
 	Penalty   *metrics.Series // collisions (Fig 6) or deferrals (Fig 7)
 	// Totals for shape checks.
-	TotalTransfers, TotalCollisions, TotalDeferrals int64
+	TotalTransfers, TotalCollisions, TotalDeferrals, TotalRejections int64
 }
 
 // Table renders the timeline in the paper's form.
@@ -516,6 +530,12 @@ func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replic
 	}
 	ctx, cancel := e.WithTimeout(e.Context(), window)
 	defer cancel()
+	// The Reservation reader books server lanes on per-server admission
+	// books instead of queueing organically.
+	var books []*lease.Book
+	if rcfg.Discipline == core.Reservation {
+		books = replica.NewBooks(e, servers)
+	}
 	if plan != nil {
 		plan.Arm(e, chaos.Targets{Window: window, Servers: servers, Trace: tr})
 	}
@@ -542,7 +562,13 @@ func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replic
 		if tr != nil {
 			rc.Trace = tr.NewClient(rcfg.Discipline.String(), fmt.Sprintf("reader-%d", i), e.Elapsed)
 		}
-		e.Spawn("reader", func(p core.Proc) { r.Loop(p, ctx, servers, rc) })
+		e.Spawn("reader", func(p core.Proc) {
+			if rc.Discipline == core.Reservation {
+				r.LoopReserved(p, ctx, servers, books, rc)
+				return
+			}
+			r.Loop(p, ctx, servers, rc)
+		})
 	}
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
@@ -553,9 +579,13 @@ func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replic
 
 	penaltyName := "collisions"
 	penaltyKind := replica.EvCollision
-	if rcfg.Discipline == core.Ethernet {
+	switch rcfg.Discipline {
+	case core.Ethernet:
 		penaltyName = "deferrals"
 		penaltyKind = replica.EvDeferral
+	case core.Reservation:
+		penaltyName = "rejections"
+		penaltyKind = replica.EvRejection
 	}
 	tl := &ReaderTimeline{
 		Transfers: metrics.NewSeries("transfers"),
@@ -567,6 +597,7 @@ func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replic
 		evs = append(evs, r.Events...)
 		tl.TotalCollisions += r.Collisions
 		tl.TotalDeferrals += r.Deferrals
+		tl.TotalRejections += r.Rejections
 		tl.TotalTransfers += r.Done
 	}
 	sortEvents(evs)

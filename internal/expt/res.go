@@ -1,0 +1,253 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/lease"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ---------------------------------------------------------------------
+// Reservation/admission-control ablation (figure "res")
+// ---------------------------------------------------------------------
+//
+// The fourth discipline the paper's taxonomy implies but never builds:
+// instead of sensing the carrier and colliding optimistically, a
+// reservation submitter books a worst-case descriptor window on an
+// admission book before touching the schedd. The book refuses outright
+// when it is full over the requested window — a typed rejection that
+// consumed nothing — and enforces granted windows server-side with the
+// claim lease's watchdog.
+//
+// The figure runs Reservation head-to-head against the leased Ethernet
+// submitter (FigLA's healthy arm) twice per population: once fault-free
+// and once under the "res-flap" plan (the schedd flaps and holders
+// wedge mid-window). The headline is the trade: admission control wins
+// under steady load — no crashes, no collisions, capacity never
+// overcommitted — and collapses under server flap, because the book
+// keeps charging for windows whose holders are dead until each window's
+// boundary passes, while Ethernet's failed optimists retreat after one
+// quantum.
+
+// ResSweep is the submitter counts swept by FigRes.
+var ResSweep = []int{50, 100, 200, 400}
+
+// resWindow is the tenure a reservation submitter books per job: a
+// third of the experiment window. It must cover the worst-case
+// submission with room to spare (honest holders release early and the
+// booking truncates, so the slack is free in steady state); the same
+// slack is exactly what a wedged holder's dead window costs under
+// chaos — over 3x the Ethernet arm's revocation quantum.
+func resWindow(window time.Duration) time.Duration { return window / 3 }
+
+// resBookCapacity sizes the admission book: 10 units per submitter
+// against a worst-case booking of ClientFDs+ClientFDJitter (20) units,
+// so the book admits about half the population concurrently — the same
+// contention regime the Ethernet arm's carrier threshold produces.
+func resBookCapacity(n int) int64 { return int64(10 * n) }
+
+// ResCellResult is one reservation cell's accounting.
+type ResCellResult struct {
+	// Jobs is total jobs submitted; PerClient the per-submitter split.
+	Jobs      int64
+	PerClient []float64
+	// Jain is Jain's fairness index over PerClient.
+	Jain float64
+	// Rejects counts bookings the full book refused outright.
+	Rejects int64
+	// Admits counts booked windows that were claimed.
+	Admits int64
+	// Revokes counts claim tenures the watchdog reclaimed at a window
+	// boundary — each one is a dead window that was charged in full.
+	Revokes int64
+	// Lapses counts windows that ended unclaimed.
+	Lapses int64
+	// Crashes counts schedd crashes during the run.
+	Crashes int64
+	// Starved counts no-starvation violations; MaxWait is the longest
+	// any client went wanting a booking.
+	Starved int
+	MaxWait time.Duration
+}
+
+// ResCell runs n reservation submitters against a cluster whose client
+// descriptor share is governed by an admission book, for the window,
+// optionally under a fault plan. Violations are counted into Starved;
+// when rec is non-nil they are also forwarded, so an acceptance suite
+// can demand a clean run.
+func ResCell(opt Options, seed int64, n int, window time.Duration, plan *chaos.Plan, rec *chaos.Recorder) *ResCellResult {
+	e := opt.newEngine(seed)
+	quantum := leaseQuantum(window)
+	cl := condor.NewCluster(e, condor.Config{
+		// Same table and service provisioning as the Ethernet arm
+		// (LeaseCell), so the only variable is the discipline.
+		FDCapacity:   12 * n,
+		ServiceSlots: n,
+		LeaseQuantum: quantum,
+	})
+	// The book carves the client share out of the descriptor budget;
+	// the remainder of the table is the schedd's (connection FDs,
+	// housekeeping), so an admitted client can never crash the daemon
+	// by mere arrival — that is the admission-control bargain.
+	book := lease.NewBook(e, "fds", resBookCapacity(n))
+	ctx, cancel := e.WithTimeout(e.Context(), window)
+	defer cancel()
+	cl.StartHousekeeping(ctx)
+	if plan != nil {
+		plan.Arm(e, chaos.Targets{Window: window, Cluster: cl, Trace: opt.Trace})
+	}
+	// Starvation is detected locally: under the flap plan the
+	// violations are the measurement (dead windows starve the book),
+	// not an experiment failure.
+	priv := &chaos.Recorder{}
+	inv := chaos.NewInvariants(e, priv, 0)
+	inv.Monotone("jobs", func() float64 { return float64(cl.Schedd.Jobs) })
+	inv.Monotone("rejects", func() float64 { return float64(book.Rejects) })
+	inv.Horizon(window)
+	inv.NoStarvation("fds", book.Tenure().LongestWait, leaseBudget(window))
+	inv.Start(ctx)
+
+	subs := make([]*condor.Submitter, n)
+	for i := 0; i < n; i++ {
+		subs[i] = &condor.Submitter{}
+		sub := subs[i]
+		cfg := condor.ResSubmitterConfig{
+			// One work unit spans the whole window, as in the Ethernet
+			// arm.
+			TryLimit:  window,
+			Window:    resWindow(window),
+			ThinkTime: 3 * time.Second,
+			// The same capped backoff template as the Ethernet arm: a
+			// rejected client re-asks within the reclamation cycle.
+			Backoff: &core.Backoff{Base: time.Second, Cap: quantum / 2, Factor: 2, RandMin: 1, RandMax: 2},
+		}
+		if opt.Trace != nil {
+			cfg.Trace = opt.Trace.NewClient(core.Reservation.String(), fmt.Sprintf("submitter-%d", i), e.Elapsed)
+		}
+		// Unique process names: the book ledger keys holders by name.
+		e.Spawn(fmt.Sprintf("submitter-%d", i), func(p core.Proc) {
+			sub.ReserveLoop(p, ctx, cl, book, cfg)
+		})
+	}
+	if err := e.Run(); err != nil {
+		panic("expt: " + err.Error())
+	}
+	inv.Finish()
+
+	res := &ResCellResult{
+		Jobs:      cl.Schedd.Jobs,
+		PerClient: make([]float64, n),
+		Rejects:   book.Rejects,
+		Admits:    book.Admits,
+		Revokes:   book.Tenure().Revokes,
+		Lapses:    book.Lapses,
+		Crashes:   cl.Schedd.Crashes,
+		MaxWait:   book.Tenure().MaxStarvation(),
+	}
+	for i, sub := range subs {
+		res.PerClient[i] = float64(sub.Submitted)
+	}
+	res.Jain = metrics.JainIndex(res.PerClient)
+	for _, v := range priv.Violations {
+		if v.Check == "no-starvation" {
+			res.Starved++
+		}
+		if rec != nil {
+			rec.Add(v)
+		}
+	}
+	return res
+}
+
+// ResAblation holds the figure's two tables.
+type ResAblation struct {
+	// Throughput: jobs submitted — Reservation vs leased Ethernet,
+	// fault-free and under the res-flap plan.
+	Throughput *metrics.SweepTable
+	// Admission: the book's own accounting — steady-state rejections,
+	// flap rejections, dead windows (claim revocations under flap), and
+	// the Ethernet flap arm's crashes for contrast.
+	Admission *metrics.SweepTable
+}
+
+// FigRes runs the reservation ablation: each population in ResSweep
+// runs four cells — Reservation and leased Ethernet, each fault-free
+// and under the "res-flap" plan (opt.Chaos overrides it). Violations
+// from the fault-free cells go to opt.Check — a steady-state universe
+// must stay clean; the flap cells' violations are the measurement.
+//
+// Like FigLA, the sweep population is not scaled down and the window is
+// floored at two minutes, so the booking-window cycle stays meaningful
+// at every scale.
+func FigRes(opt Options) *ResAblation {
+	window := opt.scaleD(SubmitWindow)
+	if window < 2*time.Minute {
+		window = 2 * time.Minute
+	}
+	quantum := leaseQuantum(window)
+	xs := append([]int(nil), ResSweep...)
+	ra := &ResAblation{
+		Throughput: &metrics.SweepTable{XLabel: "submitters", Xs: xs},
+		Admission:  &metrics.SweepTable{XLabel: "submitters", Xs: xs},
+	}
+	resS := make([]*ResCellResult, len(xs))
+	resF := make([]*ResCellResult, len(xs))
+	ethS := make([]*LeaseCellResult, len(xs))
+	ethF := make([]*LeaseCellResult, len(xs))
+	// Four cells per population, in fixed order — res/eth steady, then
+	// res/eth under flap — matching the serial emission order of traces
+	// and violations.
+	runCells(opt, 4*len(xs), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+		i := c / 4
+		seed := opt.seed() + int64(i)
+		flap := opt.Chaos
+		if flap == nil {
+			flap, _ = chaos.Preset("res-flap", seed)
+		}
+		copt := opt
+		copt.Trace = tr
+		switch c % 4 {
+		case 0:
+			resS[i] = ResCell(copt, seed, xs[i], window, nil, rec)
+		case 1:
+			ethS[i] = LeaseCell(copt, seed, xs[i], window, quantum, nil, rec)
+		case 2:
+			resF[i] = ResCell(copt, seed, xs[i], window, flap, nil)
+		case 3:
+			ethF[i] = LeaseCell(copt, seed, xs[i], window, quantum, flap, nil)
+		}
+	})
+	cols := struct {
+		resS, ethS, resF, ethF               metrics.SweepCol
+		rejS, rejF, dead, lapses, crashesEth metrics.SweepCol
+	}{
+		resS:       metrics.SweepCol{Name: "res"},
+		ethS:       metrics.SweepCol{Name: "ethernet"},
+		resF:       metrics.SweepCol{Name: "res-flap"},
+		ethF:       metrics.SweepCol{Name: "eth-flap"},
+		rejS:       metrics.SweepCol{Name: "rejects"},
+		rejF:       metrics.SweepCol{Name: "rejects-flap"},
+		dead:       metrics.SweepCol{Name: "dead-windows"},
+		lapses:     metrics.SweepCol{Name: "lapses-flap"},
+		crashesEth: metrics.SweepCol{Name: "eth-crashes-flap"},
+	}
+	for i := range xs {
+		cols.resS.Vals = append(cols.resS.Vals, float64(resS[i].Jobs))
+		cols.ethS.Vals = append(cols.ethS.Vals, float64(ethS[i].Jobs))
+		cols.resF.Vals = append(cols.resF.Vals, float64(resF[i].Jobs))
+		cols.ethF.Vals = append(cols.ethF.Vals, float64(ethF[i].Jobs))
+		cols.rejS.Vals = append(cols.rejS.Vals, float64(resS[i].Rejects))
+		cols.rejF.Vals = append(cols.rejF.Vals, float64(resF[i].Rejects))
+		cols.dead.Vals = append(cols.dead.Vals, float64(resF[i].Revokes))
+		cols.lapses.Vals = append(cols.lapses.Vals, float64(resF[i].Lapses))
+		cols.crashesEth.Vals = append(cols.crashesEth.Vals, float64(ethF[i].Crashes))
+	}
+	ra.Throughput.Cols = []metrics.SweepCol{cols.resS, cols.ethS, cols.resF, cols.ethF}
+	ra.Admission.Cols = []metrics.SweepCol{cols.rejS, cols.rejF, cols.dead, cols.lapses, cols.crashesEth}
+	return ra
+}

@@ -120,9 +120,12 @@ func (a *Allocator) reserve(p core.Proc, ctx context.Context, size int64) (*Rese
 	}
 	// Grant only space not already promised: reservations must never
 	// overcommit, or they would be no better than optimistic writing.
-	if a.buf.Free()-a.Reserved() < size {
+	// A denial is a typed rejection carrying the shortfall, so clients
+	// and the trace grammar can tell "the book was full" (nothing was
+	// consumed) from a collision discovered after the fact.
+	if unres := a.buf.Free() - a.Reserved(); unres < size {
 		a.Denials++
-		return nil, fmt.Errorf("%w (want %d, unreserved free %d)", ErrReservationDenied, size, a.buf.Free()-a.Reserved())
+		return nil, fmt.Errorf("%w: %w", ErrReservationDenied, core.Rejected("reservation", size-unres))
 	}
 	a.Grants++
 	return &Reservation{l: a.tenure.Grant(p, ctx, p.Name(), size)}, nil
@@ -159,10 +162,22 @@ type ReservingProducer struct {
 }
 
 // Loop produces files until ctx is canceled. Each file first obtains a
-// worst-case reservation (retrying with Aloha backoff on denial — the
-// allocation service gives a clean failure signal, so carrier sense
-// adds nothing), then writes under its protection.
+// worst-case reservation (retrying with Aloha-style backoff on denial —
+// the allocation service gives a clean failure signal, so carrier
+// sense adds nothing), then writes under its protection. The
+// cfg.Discipline field is ignored: this producer *is* the Reservation
+// discipline.
 func (rp *ReservingProducer) Loop(p core.Proc, ctx context.Context, a *Allocator, id int, cfg ProducerConfig) {
+	p.SetTracer(cfg.Trace)
+	client := &core.Client{
+		Rt:         p,
+		Discipline: core.Reservation,
+		Limit:      core.For(cfg.TryLimit),
+		Observer:   cfg.Observer,
+		Trace:      cfg.Trace,
+		Site:       "reservation",
+		Span:       "write",
+	}
 	seq := 0
 	for ctx.Err() == nil {
 		size := int64(p.Rand() * float64(cfg.MaxFileSize))
@@ -172,7 +187,7 @@ func (rp *ReservingProducer) Loop(p core.Proc, ctx context.Context, a *Allocator
 		seq++
 		name := fmt.Sprintf("r%d-%d", id, seq)
 		var res *Reservation
-		err := core.Try(ctx, p, core.For(cfg.TryLimit), core.TryConfig{}, func(ctx context.Context) error {
+		err := client.Do(ctx, func(ctx context.Context) error {
 			var rerr error
 			// Output size is unknown before the job runs: reserve the
 			// worst case.

@@ -300,12 +300,20 @@ func (m *Manager) Acquire(p core.Proc, ctx context.Context, holder string, units
 // arbitrated admission (the fsbuffer allocator grants under its own
 // lane) and only wants the tenure discipline.
 func (m *Manager) Grant(p core.Proc, ctx context.Context, holder string, units int64) *Lease {
+	return m.GrantFor(p, ctx, holder, units, m.quantum)
+}
+
+// GrantFor is Grant with an explicit tenure for this lease alone,
+// overriding the manager's quantum: the reservation book grants claim
+// leases whose watchdog fires exactly at the booked window's end, not
+// one global quantum from now. d <= 0 means unlimited tenure.
+func (m *Manager) GrantFor(p core.Proc, ctx context.Context, holder string, units int64, d time.Duration) *Lease {
 	st := m.stats(holder)
 	m.inUse += units
 	m.Acquires++
 	st.Grants++
 	m.endWait(st)
-	return m.newLease(p, ctx, holder, units)
+	return m.newLeaseFor(p, ctx, holder, units, d)
 }
 
 // release returns units and grants them to queued waiters.
@@ -338,18 +346,23 @@ func (m *Manager) grantWaiters() {
 	}
 }
 
-// newLease mints the tenure record, arming the expiry watchdog when a
-// quantum is configured. The trace acquire event is emitted last so
-// event order matches the pre-lease code paths exactly.
+// newLease mints the tenure record under the manager's quantum.
 func (m *Manager) newLease(p core.Proc, ctx context.Context, holder string, units int64) *Lease {
-	l := &Lease{m: m, holder: holder, units: units, parent: ctx}
+	return m.newLeaseFor(p, ctx, holder, units, m.quantum)
+}
+
+// newLeaseFor mints the tenure record, arming the expiry watchdog when
+// a tenure is given. The trace acquire event is emitted last so event
+// order matches the pre-lease code paths exactly.
+func (m *Manager) newLeaseFor(p core.Proc, ctx context.Context, holder string, units int64, quantum time.Duration) *Lease {
+	l := &Lease{m: m, holder: holder, units: units, parent: ctx, quantum: quantum}
 	if p != nil {
 		l.tr = p.Tracer()
 	}
-	if m.quantum > 0 && m.eng != nil {
+	if quantum > 0 && m.eng != nil {
 		l.ctx, l.cancel = m.eng.WithCancel(ctx)
-		l.deadline = m.eng.Elapsed() + m.quantum
-		l.timer = m.eng.Schedule(m.quantum, l.expire)
+		l.deadline = m.eng.Elapsed() + quantum
+		l.timer = m.eng.Schedule(quantum, l.expire)
 	}
 	l.tr.Acquire(m.name, units)
 	return l
@@ -363,6 +376,7 @@ type Lease struct {
 	m        *Manager
 	holder   string
 	units    int64
+	quantum  time.Duration // this lease's own tenure (renewal step)
 	tr       *trace.Client
 	parent   context.Context
 	ctx      context.Context
@@ -402,15 +416,23 @@ func (l *Lease) Revoked() bool { return l.revoked }
 // the lease was still live. Renewing an unlimited lease is a no-op
 // that reports true.
 func (l *Lease) Renew() bool {
+	return l.RenewFor(l.quantum)
+}
+
+// RenewFor extends the tenure to d from now, reporting whether the
+// lease was still live. It is Renew with an explicit tenure: the
+// reservation book clamps renewals to the booked window's end, never
+// one whole quantum past it. d <= 0 leaves the deadline unchanged.
+func (l *Lease) RenewFor(d time.Duration) bool {
 	if l.done {
 		return false
 	}
-	if l.timer == nil {
+	if l.timer == nil || d <= 0 {
 		return true
 	}
 	l.timer.Cancel()
-	l.deadline = l.m.eng.Elapsed() + l.m.quantum
-	l.timer = l.m.eng.Schedule(l.m.quantum, l.expire)
+	l.deadline = l.m.eng.Elapsed() + d
+	l.timer = l.m.eng.Schedule(d, l.expire)
 	return true
 }
 

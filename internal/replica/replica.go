@@ -262,6 +262,9 @@ type Reader struct {
 	Collisions int64
 	// Deferrals counts probe failures that diverted the client cheaply.
 	Deferrals int64
+	// Rejections counts reservation requests a full book refused — like
+	// a deferral, the client was diverted without consuming the server.
+	Rejections int64
 	// Events records each occurrence for timeline figures.
 	Events []Event
 }
@@ -274,6 +277,7 @@ const (
 	EvTransfer EventKind = iota
 	EvCollision
 	EvDeferral
+	EvRejection
 )
 
 // Event is a timestamped reader event.

@@ -25,6 +25,15 @@ type Summary struct {
 	Faults     int // chaos interventions recorded against this process
 	Revokes    int // leases forcibly reclaimed from this process
 
+	// Reservation-discipline counters. These are not rendered by
+	// WriteSummary — the seed goldens predate the fourth discipline and
+	// their column layout is frozen — but FigRes and the differential
+	// tests read them directly.
+	Reserves   int // advance bookings admitted to the book
+	Admits     int // booked windows claimed
+	Rejections int // attempts refused outright by admission control
+	Forfeits   int // booked windows abandoned without a claim
+
 	Backoff time.Duration // backoff triggered by collision or failure
 	CSWait  time.Duration // backoff triggered by a carrier-sense defer
 	Holding time.Duration // at least one resource held
@@ -138,7 +147,7 @@ func Analyze(t *Tracer) []Summary {
 			s.Attempts++
 			st.inAttempt = true
 			st.attemptStart = ev.At
-		case KSuccess, KFailure, KCollision:
+		case KSuccess, KFailure, KCollision, KReject:
 			switch ev.Kind {
 			case KSuccess:
 				s.Successes++
@@ -146,6 +155,8 @@ func Analyze(t *Tracer) []Summary {
 				s.Failures++
 			case KCollision:
 				s.Collisions++
+			case KReject:
+				s.Rejections++
 			}
 			if st.inAttempt {
 				if ev.Kind != KSuccess {
@@ -155,6 +166,12 @@ func Analyze(t *Tracer) []Summary {
 			}
 		case KDefer:
 			s.Deferrals++
+		case KReserve:
+			s.Reserves++
+		case KAdmit:
+			s.Admits++
+		case KForfeit:
+			s.Forfeits++
 		case KFaultInjected:
 			s.Faults++
 		case KBackoffStart:

@@ -33,12 +33,19 @@ func (e *CheckError) Error() string {
 //   - a Defer follows a busy carrier sense on its thread;
 //   - a second Probe does not occur before the first's CarrierSense;
 //   - per resource, units released or revoked never exceed units
-//     acquired at any point in the thread's timeline.
+//     acquired at any point in the thread's timeline;
+//   - an Admit consumes the thread's oldest booked Reserve on that
+//     resource, and the grant must lie inside its reserved window;
+//   - a Reject closes an open Attempt, like a Collision, and must carry
+//     a positive shortfall — a rejection from a book that was not full
+//     is a contradiction;
+//   - a Forfeit consumes a booked Reserve that was never admitted.
 //
 // Truncation is legal: a run's window can cancel a thread between a
 // begin and its end, so open spans, a pending probe, an unfinished
-// backoff, and positively held units at end-of-trace are not errors.
-// A nil error means the trace is well-formed.
+// backoff, positively held units, and still-booked reservations at
+// end-of-trace are not errors. A nil error means the trace is
+// well-formed.
 func Check(t *Tracer) error {
 	if t == nil {
 		return nil
@@ -54,7 +61,8 @@ type checkState struct {
 	probePending bool
 	senseBusy    bool // last carrier sense on this thread was busy
 	attemptDepth int
-	held         map[string]int64 // resource site -> units held
+	held         map[string]int64   // resource site -> units held
+	booked       map[string][]int64 // resource site -> FIFO of reserved window starts (ns)
 }
 
 // CheckEvents is Check on a raw event log in emission order.
@@ -63,7 +71,7 @@ func CheckEvents(evs []Event) error {
 	for i, ev := range evs {
 		ts := threads[ev.TID]
 		if ts == nil {
-			ts = &checkState{held: map[string]int64{}}
+			ts = &checkState{held: map[string]int64{}, booked: map[string][]int64{}}
 			threads[ev.TID] = ts
 		}
 		fail := func(rule string) error {
@@ -116,6 +124,33 @@ func CheckEvents(evs []Event) error {
 			ts.attemptDepth--
 		case KAcquire:
 			ts.held[ev.Site] += ev.Arg
+		case KReserve:
+			ts.booked[ev.Site] = append(ts.booked[ev.Site], ev.Arg)
+		case KAdmit:
+			q := ts.booked[ev.Site]
+			if len(q) == 0 {
+				return fail("admit with no booked reservation")
+			}
+			start := q[0]
+			ts.booked[ev.Site] = q[1:]
+			if int64(ev.At) < start || int64(ev.At) >= ev.Arg {
+				return fail(fmt.Sprintf("grant at %v outside its reserved window [%v, %v)",
+					ev.At, time.Duration(start), time.Duration(ev.Arg)))
+			}
+		case KForfeit:
+			q := ts.booked[ev.Site]
+			if len(q) == 0 {
+				return fail("forfeit with no booked reservation")
+			}
+			ts.booked[ev.Site] = q[1:]
+		case KReject:
+			if ts.attemptDepth == 0 {
+				return fail("reject with no open attempt")
+			}
+			ts.attemptDepth--
+			if ev.Arg <= 0 {
+				return fail("reject without a positive shortfall: the book was not full")
+			}
 		case KRelease, KRevoke:
 			ts.held[ev.Site] -= ev.Arg
 			if ts.held[ev.Site] < 0 {

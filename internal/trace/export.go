@@ -132,7 +132,7 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			instant(verdict, ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
 		case KAttempt:
 			attempts[ev.TID] = &openInterval{at: ev.At}
-		case KSuccess, KFailure, KCollision:
+		case KSuccess, KFailure, KCollision, KReject:
 			if a := attempts[ev.TID]; a != nil {
 				args := "\"result\":" + strconv.Quote(ev.Kind.String())
 				if ev.Site != "" {
@@ -143,6 +143,14 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			}
 		case KDefer:
 			instant("defer", ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
+		case KReserve:
+			instant("reserve", ev.PID, ev.TID, ev.At,
+				fmt.Sprintf(`"site":%s,"window_start_ns":%d`, strconv.Quote(ev.Site), ev.Arg))
+		case KAdmit:
+			instant("admit", ev.PID, ev.TID, ev.At,
+				fmt.Sprintf(`"site":%s,"window_end_ns":%d`, strconv.Quote(ev.Site), ev.Arg))
+		case KForfeit:
+			instant("forfeit", ev.PID, ev.TID, ev.At, "\"site\":"+strconv.Quote(ev.Site))
 		case KExhausted:
 			instant("exhausted", ev.PID, ev.TID, ev.At, "")
 		case KBackoffStart:

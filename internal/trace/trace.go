@@ -53,6 +53,16 @@ const (
 	KSpanBegin
 	KSpanEnd
 	KRevoke
+	// Reservation-discipline kinds. Reserve records the book admitting
+	// an advance booking (Arg = window start, ns of virtual time);
+	// Admit records the booked window being claimed (Arg = window end);
+	// Reject records admission refusing an attempt outright (Arg = the
+	// book's shortfall, always positive); Forfeit records a booked
+	// window abandoned without a claim (canceled or lapsed).
+	KReserve
+	KAdmit
+	KReject
+	KForfeit
 )
 
 // String names the kind as it appears in exported traces.
@@ -90,6 +100,14 @@ func (k Kind) String() string {
 		return "span-end"
 	case KRevoke:
 		return "revoke"
+	case KReserve:
+		return "reserve"
+	case KAdmit:
+		return "admit"
+	case KReject:
+		return "reject"
+	case KForfeit:
+		return "forfeit"
 	default:
 		return "unknown"
 	}
@@ -355,6 +373,45 @@ func (c *Client) Revoke(res string, n int64) {
 		return
 	}
 	c.emit(KRevoke, res, n)
+}
+
+// Reserve records the book at res admitting an advance booking whose
+// window opens at start (virtual time since the run began).
+func (c *Client) Reserve(res string, start time.Duration) {
+	if c == nil {
+		return
+	}
+	c.emit(KReserve, res, int64(start))
+}
+
+// Admit records a booked window on res being claimed; end is the
+// window's close. The grammar demands the claim lie inside the window
+// booked by the matching Reserve.
+func (c *Client) Admit(res string, end time.Duration) {
+	if c == nil {
+		return
+	}
+	c.emit(KAdmit, res, int64(end))
+}
+
+// Reject records admission control at res refusing the attempt
+// outright, shortfall units over the book's capacity. A rejection
+// terminates the current attempt, like a collision, but marks the book
+// full rather than the wire hot.
+func (c *Client) Reject(res string, shortfall int64) {
+	if c == nil {
+		return
+	}
+	c.emit(KReject, res, shortfall)
+}
+
+// Forfeit records a booked window on res given up without a claim:
+// the client canceled it, or the window lapsed unclaimed.
+func (c *Client) Forfeit(res string) {
+	if c == nil {
+		return
+	}
+	c.emit(KForfeit, res, 0)
 }
 
 // FaultInjected records a chaos-plan intervention at site biting this

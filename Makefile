@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke golden ci
 
 all: build
 
@@ -62,8 +62,17 @@ res-smoke:
 	$(GO) test -race ./internal/lease -run TestBook -count=1
 	$(GO) test -race ./internal/expt -run 'TestRes|TestFigRes' -count=1
 
+# Flight-recorder gate: the nil-registry hot path must stay at zero
+# allocations (the acceptance bar for instrumenting the engine at all),
+# the enabled path must stay allocation-free too, and the registry must
+# survive concurrent writers against a live exporter under the race
+# detector. BENCH_obs.json records the measured per-op costs.
+obs-smoke:
+	$(GO) test -race ./internal/obs -run 'TestNilHotPathZeroAlloc|TestEnabledHotPathZeroAlloc|TestConcurrentWritesWithExposition' -count=1
+	$(GO) test ./internal/obs -run NONE -bench . -benchtime 100x
+
 # Rewrite the gridbench golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke

@@ -8,6 +8,8 @@
 //	          [-backend sim|live] [-timescale F]
 //	          [-parallel N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
+//	          [-trace-quantiles] [-metrics FILE] [-metrics-interval D]
+//	          [-metrics-format jsonl|csv|prom] [-obs-addr ADDR] [-progress]
 //	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Without -fig, every figure is produced in order. Output is plain
@@ -49,10 +51,23 @@
 // Chrome trace-event format loadable in Perfetto (ui.perfetto.dev) or
 // chrome://tracing, with one process per discipline and one thread per
 // client. -trace-summary appends a per-discipline collision/backoff
-// accounting table to the normal output. Single-discipline figures
+// accounting table to the normal output, and -trace-quantiles a
+// per-discipline span-distribution table (holding, backoff, cs-wait:
+// count/min/mean/P50/P95/P99/max). Single-discipline figures
 // (2, 3, 6, 7) are additionally re-run under the remaining disciplines
 // on the same seed, so the trace compares all three head-to-head;
 // tracing never changes the figures themselves.
+//
+// -metrics arms the flight recorder (see internal/obs): engine, lease,
+// and carrier instruments are sampled on the backend clock every
+// -metrics-interval of virtual time (default 5s) and dumped to FILE as
+// line-delimited JSON, CSV, or Prometheus text (-metrics-format). On
+// the sim backend the dump is byte-identical per seed at every
+// -parallel setting; on the live backend it inherits the live run's
+// scheduling noise. -obs-addr (live backend only) additionally serves
+// the registry over HTTP while the run is in flight: /metrics
+// (Prometheus text), /healthz, and net/http/pprof. -progress prints a
+// one-line sweep progress report to stderr about once a second.
 package main
 
 import (
@@ -63,10 +78,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/expt"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -91,6 +108,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace", "", "record an event trace of every client to this file")
 	traceFormat := fs.String("trace-format", "jsonl", "trace file format: jsonl or chrome (Perfetto-loadable)")
 	traceSummary := fs.Bool("trace-summary", false, "append a per-discipline collision/backoff accounting table")
+	traceQuantiles := fs.Bool("trace-quantiles", false, "append a per-discipline span-distribution table (P50/P95/P99)")
+	metricsOut := fs.String("metrics", "", "sample the flight recorder on the backend clock and dump it to this file")
+	metricsInterval := fs.Duration("metrics-interval", 0, "virtual-time sampling interval for -metrics (0 = default "+expt.DefaultObsInterval.String()+")")
+	metricsFormat := fs.String("metrics-format", "jsonl", "metrics dump format: jsonl, csv, or prom")
+	obsAddr := fs.String("obs-addr", "", "live backend only: serve /metrics, /healthz, and pprof on this address during the run")
+	progress := fs.Bool("progress", false, "print one-line sweep progress to stderr about once a second")
 	parallel := fs.Int("parallel", 0, "worker count for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
@@ -116,6 +139,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel < 0 {
 		fmt.Fprintf(stderr, "gridbench: negative parallel %d (want 0 for GOMAXPROCS, or a worker count)\n", *parallel)
+		return 2
+	}
+	if *metricsFormat != "jsonl" && *metricsFormat != "csv" && *metricsFormat != "prom" {
+		fmt.Fprintf(stderr, "gridbench: unknown metrics format %q (want jsonl, csv, or prom)\n", *metricsFormat)
+		return 2
+	}
+	if *metricsInterval < 0 {
+		fmt.Fprintf(stderr, "gridbench: negative metrics interval %v\n", *metricsInterval)
+		return 2
+	}
+	if *obsAddr != "" && *backend != expt.BackendLive {
+		fmt.Fprintf(stderr, "gridbench: -obs-addr needs -backend=live (the sim backend finishes in virtual time; dump it with -metrics instead)\n")
 		return 2
 	}
 	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
@@ -152,6 +187,26 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Backend: *backend, Timescale: *timescale}
+	if *metricsOut != "" || *obsAddr != "" || *progress {
+		// -progress needs the recorder too: the events/sec column comes
+		// from the engine event counters it samples.
+		opt.Obs = obs.New()
+		opt.ObsInterval = *metricsInterval
+	}
+	if *progress {
+		opt.Progress = progressPrinter(stderr)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, opt.Obs, func() map[string]string {
+			return map[string]string{"backend": *backend, "seed": fmt.Sprint(*seed)}
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "gridbench: observability endpoint on http://%s (/metrics, /healthz, /debug/pprof/)\n", srv.Addr())
+	}
 	if *chaosName != "" {
 		cs := *chaosSeed
 		if cs == 0 {
@@ -179,7 +234,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	if *traceOut != "" || *traceSummary {
+	if *traceOut != "" || *traceSummary || *traceQuantiles {
 		opt.Trace = trace.New()
 		scenario := "all"
 		if *fig != "" {
@@ -257,14 +312,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if *traceSummary {
-		fmt.Fprintf(r.w, "==== Trace summary ====\n")
-		if r.chaos != "" {
-			io.WriteString(r.w, r.chaos)
+	if *traceSummary || *traceQuantiles {
+		sums := trace.Analyze(opt.Trace)
+		if *traceSummary {
+			fmt.Fprintf(r.w, "==== Trace summary ====\n")
+			if r.chaos != "" {
+				io.WriteString(r.w, r.chaos)
+			}
+			if err := trace.WriteSummary(r.w, sums); err != nil {
+				fmt.Fprintf(stderr, "gridbench: %v\n", err)
+				return 1
+			}
 		}
-		if err := trace.WriteSummary(r.w, trace.Analyze(opt.Trace)); err != nil {
-			fmt.Fprintf(stderr, "gridbench: %v\n", err)
-			return 1
+		if *traceQuantiles {
+			fmt.Fprintf(r.w, "==== Trace quantiles ====\n")
+			if r.chaos != "" {
+				io.WriteString(r.w, r.chaos)
+			}
+			if err := trace.WriteQuantiles(r.w, sums); err != nil {
+				fmt.Fprintf(stderr, "gridbench: %v\n", err)
+				return 1
+			}
 		}
 	}
 	if *traceOut != "" {
@@ -273,7 +341,68 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, *metricsFormat, opt.Obs); err != nil {
+			fmt.Fprintf(stderr, "gridbench: %v\n", err)
+			return 1
+		}
+	}
 	return r.exit
+}
+
+// progressPrinter returns an expt.Options.Progress callback that
+// prints a one-line sweep report to w: cells done, sampled engine
+// events per wall-clock second, and a completion-rate ETA. Reports are
+// throttled to about one a second, except each sweep's final cell.
+// The callback is invoked from worker goroutines, so it serializes
+// behind its own mutex.
+func progressPrinter(w io.Writer) func(done, total int, events int64) {
+	var mu sync.Mutex
+	var start, last time.Time
+	lastDone := 0
+	return func(done, total int, events int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if start.IsZero() || done < lastDone {
+			start = now // first cell of a new sweep
+			last = time.Time{}
+		}
+		lastDone = done
+		if done < total && now.Sub(last) < time.Second {
+			return
+		}
+		last = now
+		elapsed := now.Sub(start)
+		if elapsed <= 0 {
+			elapsed = time.Millisecond
+		}
+		perCell := elapsed / time.Duration(done)
+		eta := time.Duration(total-done) * perCell
+		fmt.Fprintf(w, "gridbench: %d/%d cells, %.3g events/s, eta %s\n",
+			done, total, float64(events)/elapsed.Seconds(), eta.Round(time.Second))
+	}
+}
+
+// writeMetrics exports the flight-recorder registry to path in the
+// chosen format.
+func writeMetrics(path, format string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		err = reg.WriteCSV(f)
+	case "prom":
+		err = reg.WriteProm(f)
+	default:
+		err = reg.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTrace exports the recorded trace to path in the chosen format.

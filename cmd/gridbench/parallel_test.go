@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,8 +13,9 @@ var figsAll = []string{"1", "2", "3", "4", "5", "6", "7", "la", "res"}
 
 // TestParallelDeterminism is the acceptance check for the parallel
 // sweep runner: for every figure and three distinct seeds, the full
-// CLI output (tables, banners, totals) and the trace summary at
-// -parallel 8 must be byte-identical to the forced-serial run.
+// CLI output (tables, banners, totals), the trace summary, and the
+// flight-recorder metrics dump at -parallel 8 must be byte-identical
+// to the forced-serial run.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every figure at two parallelism levels and three seeds")
@@ -22,15 +24,32 @@ func TestParallelDeterminism(t *testing.T) {
 		for _, fig := range figsAll {
 			fig := fig
 			t.Run(fmt.Sprintf("fig%s/seed%s", fig, seed), func(t *testing.T) {
+				dir := t.TempDir()
+				m1 := filepath.Join(dir, "serial.jsonl")
+				m8 := filepath.Join(dir, "parallel.jsonl")
 				args := []string{"-fig", fig, "-scale", "0.1", "-seed", seed, "-trace-summary", "-check"}
-				c1, serial, e1 := cli(t, append(args, "-parallel", "1")...)
-				c8, par, e8 := cli(t, append(args, "-parallel", "8")...)
+				c1, serial, e1 := cli(t, append(args, "-parallel", "1", "-metrics", m1)...)
+				c8, par, e8 := cli(t, append(args, "-parallel", "8", "-metrics", m8)...)
 				if c1 != 0 || c8 != 0 {
 					t.Fatalf("codes %d/%d stderr %q %q", c1, c8, e1, e8)
 				}
 				if stripTiming(serial) != stripTiming(par) {
 					t.Errorf("-parallel 8 output drifted from -parallel 1.\nserial:\n%s\nparallel:\n%s",
 						stripTiming(serial), stripTiming(par))
+				}
+				b1, err := os.ReadFile(m1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b8, err := os.ReadFile(m8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(b1) == 0 {
+					t.Error("serial metrics dump is empty")
+				}
+				if !bytes.Equal(b1, b8) {
+					t.Errorf("-parallel 8 metrics dump drifted from -parallel 1 (%d vs %d bytes)", len(b1), len(b8))
 				}
 			})
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/condor"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/trace"
 )
@@ -71,7 +72,7 @@ func TestChaosSweepCondor(t *testing.T) {
 	// Four arms per plan: the three legacy disciplines plus Reservation.
 	arms := len(sweepOrder) + 1
 	cells := make([]float64, len(plans)*arms)
-	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
+	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder, _ *obs.Registry) {
 		plan := plans[c/arms]
 		arm := c % arms
 		if arm == len(sweepOrder) {
@@ -128,7 +129,7 @@ func TestChaosSweepBuffer(t *testing.T) {
 	opt.Check = rec
 	arms := len(sweepOrder) + 1
 	cells := make([]float64, len(plans)*arms)
-	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
+	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder, _ *obs.Registry) {
 		plan := plans[c/arms]
 		arm := c % arms
 		d := core.Reservation
@@ -194,7 +195,7 @@ func TestChaosSweepReader(t *testing.T) {
 	opt.Check = rec
 	arms := len(sweepOrder) + 1
 	cells := make([]float64, len(plans)*arms)
-	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder) {
+	runCells(opt, len(cells), func(c int, tr *trace.Tracer, cellRec *chaos.Recorder, _ *obs.Registry) {
 		plan := plans[c/arms]
 		rcfg := replica.DefaultReaderConfig(core.Reservation)
 		rcfg.OuterLimit = window

@@ -17,6 +17,7 @@ import (
 	"repro/internal/lease"
 	"repro/internal/live"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -60,6 +61,27 @@ type Options struct {
 	// second. Zero means DefaultTimescale. Ignored by the sim backend,
 	// whose virtual clock costs no real time at all.
 	Timescale float64
+	// Obs, when non-nil, arms the flight recorder: every cell samples
+	// engine, carrier, and lease observables into the registry on its
+	// backend clock (see obs.go). Sampling is read-only — figures are
+	// identical with it on or off — and on the sim backend the dump is
+	// a pure function of the seed at any Parallel value.
+	Obs *obs.Registry
+	// ObsInterval is the sampling interval on the backend clock; zero
+	// means DefaultObsInterval.
+	ObsInterval time.Duration
+	// Progress, when non-nil, is called by the sweep runner after each
+	// cell completes, with cells done, cells total, and cumulative
+	// engine events so far (0 unless Obs is armed). Calls arrive in
+	// completion order — not cell order — and, on the worker pool, from
+	// worker goroutines; the callback must be safe for that.
+	Progress func(done, total int, events int64)
+
+	// cellObs is the per-cell registry handed out by runCells on the
+	// sim backend (merged into Obs in cell order); obsCell names the
+	// cell uniquely within its figure for the scope's cell label.
+	cellObs *obs.Registry
+	obsCell string
 }
 
 // Backend names accepted by Options.Backend and gridbench -backend.
@@ -167,6 +189,10 @@ func submitCellTraced(opt Options, seed int64, n int, window time.Duration, subC
 	if inv != nil {
 		inv.Start(ctx)
 	}
+	if opt.obsCell == "" {
+		opt.obsCell = "submit/" + subCfg.Discipline.String()
+	}
+	finish := armObs(opt, e, window, opt.obsCell, func(sc *obs.Scope) { obsCluster(sc, cl) })
 	for i := 0; i < n; i++ {
 		cfg := subCfg
 		if tr != nil {
@@ -180,6 +206,7 @@ func submitCellTraced(opt Options, seed int64, n int, window time.Duration, subC
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	finish()
 	if inv != nil {
 		inv.Finish()
 	}
@@ -256,11 +283,14 @@ func Fig1(opt Options) *metrics.SweepTable {
 	}
 	t := &metrics.SweepTable{XLabel: "submitters", Xs: xs}
 	jobs := make([]int64, len(core.Disciplines)*len(xs))
-	runCells(opt, len(jobs), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+	runCells(opt, len(jobs), func(c int, tr *trace.Tracer, rec *chaos.Recorder, reg *obs.Registry) {
 		d := core.Disciplines[c/len(xs)]
 		i := c % len(xs)
+		copt := opt
+		copt.cellObs = reg
+		copt.obsCell = fmt.Sprintf("fig1/%s/n%d", d, xs[i])
 		subCfg, clCfg := scaledConfigs(opt, d)
-		j, _ := submitCellTraced(opt, opt.seed()+int64(i), xs[i], window, subCfg, clCfg, opt.Chaos, rec, tr)
+		j, _ := submitCellTraced(copt, opt.seed()+int64(i), xs[i], window, subCfg, clCfg, opt.Chaos, rec, tr)
 		jobs[c] = j
 	})
 	for di, d := range core.Disciplines {
@@ -307,6 +337,11 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 		inv.Start(ctx)
 	}
 
+	if opt.obsCell == "" {
+		opt.obsCell = "timeline/" + d.String()
+	}
+	finish := armObs(opt, e, window, opt.obsCell, func(sc *obs.Scope) { obsCluster(sc, cl) })
+
 	tl := &SubmitTimeline{
 		FDs:  metrics.NewSeries("avail-fds"),
 		Jobs: metrics.NewSeries("jobs"),
@@ -335,6 +370,7 @@ func runSubmitTimeline(opt Options, d core.Discipline) *SubmitTimeline {
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	finish()
 	if inv != nil {
 		inv.SeriesMonotone(tl.Jobs)
 		inv.Finish()
@@ -381,10 +417,13 @@ func RunBufferSweep(opt Options) *BufferSweep {
 	}
 	type bufRes struct{ consumed, collisions int64 }
 	res := make([]bufRes, len(core.Disciplines)*len(xs))
-	runCells(opt, len(res), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+	runCells(opt, len(res), func(c int, tr *trace.Tracer, rec *chaos.Recorder, reg *obs.Registry) {
 		d := core.Disciplines[c/len(xs)]
 		i := c % len(xs)
-		b := bufferCellTraced(opt, opt.seed()+int64(i), xs[i], window, d, opt.Chaos, rec, tr)
+		copt := opt
+		copt.cellObs = reg
+		copt.obsCell = fmt.Sprintf("buffer/%s/n%d", d, xs[i])
+		b := bufferCellTraced(copt, opt.seed()+int64(i), xs[i], window, d, opt.Chaos, rec, tr)
 		res[c] = bufRes{consumed: b.Consumed, collisions: b.Collisions}
 	})
 	for di, d := range core.Disciplines {
@@ -437,6 +476,15 @@ func bufferCellTraced(opt Options, seed int64, n int, window time.Duration, d co
 		inv.Horizon(window)
 		inv.Start(ctx)
 	}
+	if opt.obsCell == "" {
+		opt.obsCell = "buffer/" + d.String()
+	}
+	finish := armObs(opt, e, window, opt.obsCell, func(sc *obs.Scope) {
+		obsBuffer(sc, b)
+		if alloc != nil {
+			obsLease(sc, alloc.Tenure(), "reservation")
+		}
+	})
 	e.Spawn("consumer", func(p core.Proc) { b.Consumer(p, ctx) })
 	for j := 0; j < n; j++ {
 		j := j
@@ -457,6 +505,7 @@ func bufferCellTraced(opt Options, seed int64, n int, window time.Duration, d co
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	finish()
 	if inv != nil {
 		inv.Finish()
 	}
@@ -555,6 +604,15 @@ func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replic
 		inv.Horizon(window)
 		inv.Start(ctx)
 	}
+	if opt.obsCell == "" {
+		opt.obsCell = "reader/" + rcfg.Discipline.String()
+	}
+	finish := armObs(opt, e, window, opt.obsCell, func(sc *obs.Scope) {
+		obsServers(sc, servers)
+		for i, b := range books {
+			obsBook(sc, b, servers[i].Name+"-book")
+		}
+	})
 	for i := range readers {
 		readers[i] = &replica.Reader{}
 		r := readers[i]
@@ -573,6 +631,7 @@ func readerCellTraced(opt Options, seed int64, window time.Duration, rcfg replic
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	finish()
 	if inv != nil {
 		inv.Finish()
 	}

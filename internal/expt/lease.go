@@ -8,6 +8,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -91,6 +92,10 @@ func LeaseCell(opt Options, seed int64, n int, window, quantum time.Duration, pl
 	if quantum <= 0 {
 		label = "ethernet-unleased"
 	}
+	if opt.obsCell == "" {
+		opt.obsCell = fmt.Sprintf("la/%s/n%d", label, n)
+	}
+	finish := armObs(opt, e, window, opt.obsCell, func(sc *obs.Scope) { obsCluster(sc, cl) })
 	subs := make([]*condor.Submitter, n)
 	for i := 0; i < n; i++ {
 		subs[i] = &condor.Submitter{}
@@ -121,6 +126,7 @@ func LeaseCell(opt Options, seed int64, n int, window, quantum time.Duration, pl
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	finish()
 	inv.Finish()
 
 	res := &LeaseCellResult{
@@ -190,7 +196,7 @@ func FigLA(opt Options) *LeaseAblation {
 	// Two cells per population: leased (even index) then unleased (odd),
 	// matching the serial emission order of traces and violations.
 	results := make([]*LeaseCellResult, 2*len(xs))
-	runCells(opt, len(results), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+	runCells(opt, len(results), func(c int, tr *trace.Tracer, rec *chaos.Recorder, reg *obs.Registry) {
 		i := c / 2
 		seed := opt.seed() + int64(i)
 		plan := opt.Chaos
@@ -199,6 +205,7 @@ func FigLA(opt Options) *LeaseAblation {
 		}
 		copt := opt
 		copt.Trace = tr
+		copt.cellObs = reg
 		if c%2 == 0 {
 			results[c] = LeaseCell(copt, seed, xs[i], window, quantum, plan, rec)
 		} else {

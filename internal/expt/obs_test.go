@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// dumpFig1 runs Fig1 with the flight recorder armed and returns the
+// JSONL dump plus the figure table.
+func dumpFig1(t *testing.T, parallel int) (string, any) {
+	t.Helper()
+	reg := obs.New()
+	opt := Options{Seed: 3, Scale: 0.05, Parallel: parallel, Obs: reg}
+	tbl := Fig1(opt)
+	var b strings.Builder
+	if err := reg.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), tbl
+}
+
+// TestObsParallelDumpIdentical is the registry-level half of the
+// parallel determinism contract: the same seed must produce a
+// byte-identical metrics dump whether the sweep ran serially or on
+// the worker pool (per-cell registries merged in cell order).
+func TestObsParallelDumpIdentical(t *testing.T) {
+	d1, t1 := dumpFig1(t, 1)
+	d8, t8 := dumpFig1(t, 8)
+	if d1 != d8 {
+		t.Fatalf("obs dump differs between -parallel 1 and 8:\nserial %d bytes, parallel %d bytes", len(d1), len(d8))
+	}
+	if !reflect.DeepEqual(t1, t8) {
+		t.Fatalf("figure table differs between -parallel 1 and 8")
+	}
+	if !strings.Contains(d1, MCarrierOccupancy) || !strings.Contains(d1, MLeaseGrants) {
+		t.Fatalf("dump missing carrier/lease series:\n%.400s", d1)
+	}
+}
+
+// TestObsDoesNotPerturbFigures asserts the sampler is a read-only
+// observer: the same seed yields the same figure with the recorder
+// armed or not.
+func TestObsDoesNotPerturbFigures(t *testing.T) {
+	opt := Options{Seed: 5, Scale: 0.05, Parallel: 1}
+	plain := Fig1(opt)
+	opt.Obs = obs.New()
+	armed := Fig1(opt)
+	if !reflect.DeepEqual(plain, armed) {
+		t.Fatalf("arming the flight recorder changed Figure 1:\nplain %+v\narmed %+v", plain, armed)
+	}
+}
+
+// TestObsProgressReports asserts the sweep runner reports each cell
+// exactly once with a growing event count.
+func TestObsProgressReports(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	var maxEv int64
+	opt := Options{Seed: 1, Scale: 0.05, Parallel: 2, Obs: obs.New()}
+	opt.Progress = func(done, total int, events int64) {
+		// Calls arrive in completion order from worker goroutines, so
+		// only per-call facts are asserted here, not ordering.
+		mu.Lock()
+		defer mu.Unlock()
+		if total != 36 { // 3 disciplines x 12 sweep points
+			t.Errorf("total = %d, want 36", total)
+		}
+		dones = append(dones, done)
+		if events > maxEv {
+			maxEv = events
+		}
+	}
+	Fig1(opt)
+	if len(dones) != 36 {
+		t.Fatalf("progress called %d times, want 36", len(dones))
+	}
+	seen := make(map[int]bool)
+	for _, d := range dones {
+		if seen[d] {
+			t.Fatalf("done=%d reported twice", d)
+		}
+		seen[d] = true
+	}
+	if maxEv == 0 {
+		t.Fatal("no engine events reported")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lease"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -112,6 +113,13 @@ func ResCell(opt Options, seed int64, n int, window time.Duration, plan *chaos.P
 	inv.NoStarvation("fds", book.Tenure().LongestWait, leaseBudget(window))
 	inv.Start(ctx)
 
+	if opt.obsCell == "" {
+		opt.obsCell = fmt.Sprintf("res/reservation/n%d", n)
+	}
+	finish := armObs(opt, e, window, opt.obsCell, func(sc *obs.Scope) {
+		obsCluster(sc, cl)
+		obsBook(sc, book, "book")
+	})
 	subs := make([]*condor.Submitter, n)
 	for i := 0; i < n; i++ {
 		subs[i] = &condor.Submitter{}
@@ -137,6 +145,7 @@ func ResCell(opt Options, seed int64, n int, window time.Duration, plan *chaos.P
 	if err := e.Run(); err != nil {
 		panic("expt: " + err.Error())
 	}
+	finish()
 	inv.Finish()
 
 	res := &ResCellResult{
@@ -202,7 +211,7 @@ func FigRes(opt Options) *ResAblation {
 	// Four cells per population, in fixed order — res/eth steady, then
 	// res/eth under flap — matching the serial emission order of traces
 	// and violations.
-	runCells(opt, 4*len(xs), func(c int, tr *trace.Tracer, rec *chaos.Recorder) {
+	runCells(opt, 4*len(xs), func(c int, tr *trace.Tracer, rec *chaos.Recorder, reg *obs.Registry) {
 		i := c / 4
 		seed := opt.seed() + int64(i)
 		flap := opt.Chaos
@@ -211,14 +220,19 @@ func FigRes(opt Options) *ResAblation {
 		}
 		copt := opt
 		copt.Trace = tr
+		copt.cellObs = reg
 		switch c % 4 {
 		case 0:
+			copt.obsCell = fmt.Sprintf("res/res-steady/n%d", xs[i])
 			resS[i] = ResCell(copt, seed, xs[i], window, nil, rec)
 		case 1:
+			copt.obsCell = fmt.Sprintf("res/eth-steady/n%d", xs[i])
 			ethS[i] = LeaseCell(copt, seed, xs[i], window, quantum, nil, rec)
 		case 2:
+			copt.obsCell = fmt.Sprintf("res/res-flap/n%d", xs[i])
 			resF[i] = ResCell(copt, seed, xs[i], window, flap, nil)
 		case 3:
+			copt.obsCell = fmt.Sprintf("res/eth-flap/n%d", xs[i])
 			ethF[i] = LeaseCell(copt, seed, xs[i], window, quantum, flap, nil)
 		}
 	})

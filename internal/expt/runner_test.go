@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -112,7 +113,7 @@ func TestRunCellsCoversAllCellsOnce(t *testing.T) {
 	for _, workers := range []int{1, 3, 8, 100} {
 		const n = 23
 		var counts [n]atomic.Int64
-		runCells(Options{Parallel: workers}, n, func(c int, _ *trace.Tracer, _ *chaos.Recorder) {
+		runCells(Options{Parallel: workers}, n, func(c int, _ *trace.Tracer, _ *chaos.Recorder, _ *obs.Registry) {
 			counts[c].Add(1)
 		})
 		for i := range counts {
@@ -128,7 +129,7 @@ func TestRunCellsCoversAllCellsOnce(t *testing.T) {
 func TestRunCellsSerialUsesSharedSinks(t *testing.T) {
 	tr := trace.New()
 	rec := &chaos.Recorder{}
-	runCells(Options{Parallel: 1, Trace: tr, Check: rec}, 3, func(c int, cellTr *trace.Tracer, cellRec *chaos.Recorder) {
+	runCells(Options{Parallel: 1, Trace: tr, Check: rec}, 3, func(c int, cellTr *trace.Tracer, cellRec *chaos.Recorder, _ *obs.Registry) {
 		if cellTr != tr || cellRec != rec {
 			t.Errorf("cell %d: serial path handed out private sinks", c)
 		}
@@ -143,7 +144,7 @@ func TestRunCellsPanicPropagates(t *testing.T) {
 			t.Errorf("recovered %v, want panic from cell 2", r)
 		}
 	}()
-	runCells(Options{Parallel: 4}, 8, func(c int, _ *trace.Tracer, _ *chaos.Recorder) {
+	runCells(Options{Parallel: 4}, 8, func(c int, _ *trace.Tracer, _ *chaos.Recorder, _ *obs.Registry) {
 		if c == 2 || c == 5 {
 			panic("cell " + string(rune('0'+c)) + " failed")
 		}

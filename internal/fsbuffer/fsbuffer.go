@@ -176,6 +176,9 @@ func (b *Buffer) SetCapacity(n int64) {
 // Used reports bytes currently in the buffer, complete and partial.
 func (b *Buffer) Used() int64 { return b.used }
 
+// Capacity reports the buffer's current total size.
+func (b *Buffer) Capacity() int64 { return b.cfg.Capacity }
+
 // Free reports raw free space, the `df` observable.
 func (b *Buffer) Free() int64 { return b.cfg.Capacity - b.used }
 

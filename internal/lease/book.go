@@ -36,6 +36,7 @@ type Book struct {
 	name     string
 	capacity int64
 	tenure   *Manager // mints claim leases; quantum 0 (tenure set per claim)
+	hooks    BookHooks
 
 	resv []*Reservation // live bookings in admission order
 
@@ -126,6 +127,7 @@ func (b *Book) Reserve(p core.Proc, holder string, start, tenure time.Duration, 
 	end := start + tenure
 	if over := b.peakOver(start, end) + units - b.capacity; over > 0 {
 		b.Rejects++
+		b.hooks.Rejects.Inc()
 		b.tenure.stats(holder).Rejects++
 		b.tenure.NoteWant(holder)
 		return nil, core.Rejected(b.name, over)
@@ -136,6 +138,7 @@ func (b *Book) Reserve(p core.Proc, holder string, start, tenure time.Duration, 
 	}
 	b.resv = append(b.resv, r)
 	b.Reserves++
+	b.hooks.Reserves.Inc()
 	r.tr.Reserve(b.name, start)
 	// The window-end timer retires the booking no matter how the holder
 	// behaves: an unclaimed window lapses, and a claimed one is already
@@ -205,6 +208,7 @@ func (r *Reservation) Claim(p core.Proc, ctx context.Context) (*Lease, error) {
 	}
 	r.state = resClaimed
 	r.b.Admits++
+	r.b.hooks.Admits.Inc()
 	r.tr.Admit(r.b.name, r.end)
 	r.lease = r.b.tenure.GrantFor(p, ctx, r.holder, r.units, r.end-now)
 	return r.lease, nil
@@ -235,6 +239,7 @@ func (r *Reservation) Cancel() {
 	}
 	r.state = resDone
 	r.b.Cancels++
+	r.b.hooks.Cancels.Inc()
 	if r.lapse != nil {
 		r.lapse.Cancel()
 	}
@@ -273,6 +278,7 @@ func (r *Reservation) windowEnd() {
 	case resPending:
 		r.state = resDone
 		r.b.Lapses++
+		r.b.hooks.Lapses.Inc()
 		r.b.remove(r)
 		r.tr.Forfeit(r.b.name)
 	case resClaimed:

@@ -44,6 +44,7 @@ type Manager struct {
 	capacity int64
 	inUse    int64
 	waiters  []*waiter
+	hooks    Hooks
 
 	// Stats, readable at any point under the engine token.
 	Acquires int64 // granted tenures (leased or raw)
@@ -231,10 +232,10 @@ func (m *Manager) MaxStarvation() time.Duration {
 func (m *Manager) TryTake(units int64) bool {
 	if m.inUse+units <= m.capacity {
 		m.inUse += units
-		m.Acquires++
+		m.noteGrant()
 		return true
 	}
-	m.Rejects++
+	m.noteReject()
 	return false
 }
 
@@ -251,12 +252,12 @@ func (m *Manager) TryAcquire(p core.Proc, ctx context.Context, holder string, un
 	st := m.stats(holder)
 	if m.inUse+units <= m.capacity && m.QueueLen() == 0 {
 		m.inUse += units
-		m.Acquires++
+		m.noteGrant()
 		st.Grants++
 		m.endWait(st)
 		return m.newLease(p, ctx, holder, units), true
 	}
-	m.Rejects++
+	m.noteReject()
 	st.Rejects++
 	m.NoteWant(holder)
 	return nil, false
@@ -273,7 +274,7 @@ func (m *Manager) Acquire(p core.Proc, ctx context.Context, holder string, units
 	st := m.stats(holder)
 	if m.inUse+units <= m.capacity && m.QueueLen() == 0 {
 		m.inUse += units
-		m.Acquires++
+		m.noteGrant()
 		st.Grants++
 		m.endWait(st)
 		return m.newLease(p, ctx, holder, units), nil
@@ -285,7 +286,7 @@ func (m *Manager) Acquire(p core.Proc, ctx context.Context, holder string, units
 	herr := p.Hang(wctx)
 	if !w.granted {
 		w.gone = true
-		m.Timeouts++
+		m.noteTimeout()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -310,7 +311,7 @@ func (m *Manager) Grant(p core.Proc, ctx context.Context, holder string, units i
 func (m *Manager) GrantFor(p core.Proc, ctx context.Context, holder string, units int64, d time.Duration) *Lease {
 	st := m.stats(holder)
 	m.inUse += units
-	m.Acquires++
+	m.noteGrant()
 	st.Grants++
 	m.endWait(st)
 	return m.newLeaseFor(p, ctx, holder, units, d)
@@ -341,7 +342,7 @@ func (m *Manager) grantWaiters() {
 		m.waiters = m.waiters[1:]
 		w.granted = true
 		m.inUse += w.units
-		m.Acquires++
+		m.noteGrant()
 		w.cancel()
 	}
 }
@@ -464,7 +465,7 @@ func (l *Lease) expire() {
 	}
 	l.done = true
 	l.revoked = true
-	l.m.Revokes++
+	l.m.noteRevoke(l.units)
 	l.m.stats(l.holder).Revokes++
 	l.tr.Revoke(l.m.name, l.units)
 	if l.cancel != nil {

@@ -111,6 +111,21 @@ func (e *Engine) Now() time.Time { return core.Epoch.Add(e.Elapsed()) }
 // firings) the engine has executed.
 func (e *Engine) Events() int64 { return e.events }
 
+// RunQueueLen reports the number of live processes. The live engine
+// has no run queue — goroutines are runnable whenever the scheduler
+// says so — so the closest observable analogue is the live-process
+// count (observability; engine lock held).
+func (e *Engine) RunQueueLen() int { return e.liveN }
+
+// TimerHeapLen reports the number of pending timers (observability;
+// engine lock held).
+func (e *Engine) TimerHeapLen() int { return len(e.timers) }
+
+// Compactions is always zero: the live engine deletes canceled timers
+// eagerly from its map, so there is nothing to compact (observability
+// parity with sim.Engine).
+func (e *Engine) Compactions() int64 { return 0 }
+
 // Rand returns a uniform value in [0,1) from the engine's seeded
 // source. Must be called under the engine lock (or before Run).
 func (e *Engine) Rand() float64 { return e.rng.Float64() }

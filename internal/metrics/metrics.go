@@ -20,17 +20,73 @@ type Point struct {
 }
 
 // Series is an append-only time series with a name used in table output.
+// By default it retains every sample; SetCap bounds its memory so
+// clock-sampled series survive arbitrarily long runs (see Add).
 type Series struct {
 	Name   string
 	Points []Point
+
+	// cap bounds len(Points); 0 (the default) retains everything.
+	cap int
+	// stride is the current downsampling factor: only every stride-th
+	// Add is recorded once the cap has been hit. Zero means 1.
+	stride int64
+	// tick counts Adds since the stride was last consulted.
+	tick int64
 }
 
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
-// Add appends a sample.
+// NewBoundedSeries returns an empty named series that retains at most
+// cap points (see SetCap).
+func NewBoundedSeries(name string, cap int) *Series {
+	s := NewSeries(name)
+	s.SetCap(cap)
+	return s
+}
+
+// SetCap bounds the series to at most n retained points. When an Add
+// would grow past the cap, the series halves itself in place (keeping
+// every other point) and doubles its sampling stride, so from then on
+// only every stride-th Add is recorded: memory stays O(cap) while the
+// retained points still span the whole run. n <= 0 restores the
+// default unbounded behavior (an already-raised stride is kept).
+// Downsampling is purely count-driven, so identical Add sequences
+// yield identical retained points — the determinism tests rely on it.
+func (s *Series) SetCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.cap = n
+	if s.stride == 0 {
+		s.stride = 1
+	}
+}
+
+// Cap reports the retention bound (0 = unbounded).
+func (s *Series) Cap() int { return s.cap }
+
+// Add appends a sample, downsampling when a cap is set (see SetCap).
 func (s *Series) Add(t time.Duration, v float64) {
+	if s.cap > 0 {
+		s.tick++
+		if s.stride > 1 && s.tick%s.stride != 0 {
+			return
+		}
+	}
 	s.Points = append(s.Points, Point{T: t, V: v})
+	if s.cap > 0 && len(s.Points) >= s.cap {
+		half := s.Points[:0]
+		for i := 0; i < len(s.Points); i += 2 {
+			half = append(half, s.Points[i])
+		}
+		s.Points = half
+		if s.stride < 1 {
+			s.stride = 1
+		}
+		s.stride *= 2
+	}
 }
 
 // Len reports the number of samples.
@@ -153,19 +209,41 @@ func (c *Counter) AddN(t time.Duration, n int64) {
 // Trace returns the counter's cumulative time series (nil if untraced).
 func (c *Counter) Trace() *Series { return c.trace }
 
-// Histogram accumulates values into summary statistics without retaining
-// samples.
+// ReservoirSize is the number of samples a Histogram retains for
+// quantile estimation. Up to this many observations the quantiles are
+// exact; beyond it they come from a uniform random subsample of fixed
+// size (algorithm R), so memory stays O(1) regardless of Count.
+const ReservoirSize = 1024
+
+// Histogram accumulates values into summary statistics plus a
+// fixed-size reservoir for quantile estimation. The reservoir's
+// replacement draws come from a private splitmix64 stream seeded at
+// construction, never from the simulation RNG, so observing values
+// neither consumes simulation randomness nor varies between runs:
+// identical observation sequences retain identical samples.
 type Histogram struct {
 	Name       string
 	Count      int64
 	Sum        float64
 	SumSquares float64
 	MinV, MaxV float64
+
+	samples []float64
+	rng     uint64
 }
 
 // NewHistogram returns an empty named histogram.
 func NewHistogram(name string) *Histogram {
-	return &Histogram{Name: name, MinV: math.Inf(1), MaxV: math.Inf(-1)}
+	return &Histogram{Name: name, MinV: math.Inf(1), MaxV: math.Inf(-1), rng: 0x9e3779b97f4a7c15}
+}
+
+// splitmix64 advances the reservoir's private random stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Observe records one value.
@@ -179,7 +257,48 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.MaxV {
 		h.MaxV = v
 	}
+	if len(h.samples) < ReservoirSize {
+		h.samples = append(h.samples, v)
+	} else if r := splitmix64(&h.rng) % uint64(h.Count); r < ReservoirSize {
+		h.samples[r] = v
+	}
 }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the observed
+// values, estimated from the reservoir with linear interpolation
+// between order statistics. It returns 0 before any Observe. The
+// reservoir itself is never reordered, so Quantile may be interleaved
+// with Observe without perturbing which samples are retained.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// P50 returns the median of the observed values (0 before any Observe).
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile observed value.
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile observed value.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
 
 // Min returns the smallest observed value, or 0 before any Observe
 // (the raw MinV field is +Inf in that state).

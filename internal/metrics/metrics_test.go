@@ -108,6 +108,123 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram("lat")
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if p := h.P50(); math.Abs(p-50.5) > 1 {
+		t.Errorf("P50 = %v, want ~50.5", p)
+	}
+	if p := h.P95(); math.Abs(p-95) > 1.5 {
+		t.Errorf("P95 = %v, want ~95", p)
+	}
+	if p := h.P99(); math.Abs(p-99) > 1.5 {
+		t.Errorf("P99 = %v, want ~99", p)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100 {
+		t.Errorf("Quantile(0)/Quantile(1) = %v/%v, want 1/100", h.Quantile(0), h.Quantile(1))
+	}
+	if NewHistogram("e").P99() != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+// The reservoir must be bounded, deterministic, and still representative
+// past ReservoirSize observations.
+func TestHistogramReservoirBoundedDeterministic(t *testing.T) {
+	a, b := NewHistogram("a"), NewHistogram("b")
+	n := 50 * ReservoirSize
+	for i := 0; i < n; i++ {
+		v := float64(i % 1000)
+		a.Observe(v)
+		b.Observe(v)
+	}
+	if len(a.samples) != ReservoirSize {
+		t.Fatalf("reservoir grew to %d, want %d", len(a.samples), ReservoirSize)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("identical observation sequences disagree at q=%v: %v vs %v", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	// Uniform values in [0,1000): the estimated median should be near 500.
+	if p := a.P50(); p < 350 || p > 650 {
+		t.Errorf("P50 of uniform [0,1000) = %v, want near 500", p)
+	}
+	// Interleaving Quantile with Observe must not change what is retained.
+	c, d := NewHistogram("c"), NewHistogram("d")
+	for i := 0; i < 3*ReservoirSize; i++ {
+		v := float64(i % 777)
+		c.Observe(v)
+		d.Observe(v)
+		if i%100 == 0 {
+			_ = c.Quantile(0.5)
+		}
+	}
+	if c.Quantile(0.95) != d.Quantile(0.95) {
+		t.Error("Quantile interleaved with Observe perturbed the reservoir")
+	}
+}
+
+// A bounded series must stay within its cap no matter how many samples
+// are added — the flight recorder's guard for million-client runs.
+func TestSeriesCapBounds10MPoints(t *testing.T) {
+	const cap = 4096
+	s := NewBoundedSeries("events", cap)
+	const n = 10_000_000
+	for i := 0; i < n; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	if s.Len() > cap {
+		t.Fatalf("len = %d exceeds cap %d after %d adds", s.Len(), cap, n)
+	}
+	if s.Len() < cap/4 {
+		t.Fatalf("len = %d; downsampling dropped too much (cap %d)", s.Len(), cap)
+	}
+	// Retained points must still be in time order and span the run.
+	for i := 1; i < s.Len(); i++ {
+		if s.Points[i].T <= s.Points[i-1].T {
+			t.Fatalf("points out of order at %d", i)
+		}
+	}
+	if s.Points[0].T != 0 {
+		t.Errorf("first point = %v, want 0", s.Points[0].T)
+	}
+	if last := s.Last().T; last < time.Duration(n/2)*time.Millisecond {
+		t.Errorf("last retained point %v does not span the run", last)
+	}
+}
+
+// Downsampling is count-driven, so two identical Add sequences retain
+// identical points — the parallel-vs-serial merge equality depends on it.
+func TestSeriesCapDeterministic(t *testing.T) {
+	a, b := NewBoundedSeries("a", 64), NewBoundedSeries("b", 64)
+	for i := 0; i < 10_000; i++ {
+		a.Add(time.Duration(i)*time.Second, float64(i*i%913))
+		b.Add(time.Duration(i)*time.Second, float64(i*i%913))
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, a.Points[i], b.Points[i])
+		}
+	}
+	if a.Cap() != 64 {
+		t.Errorf("Cap = %d", a.Cap())
+	}
+	// Unbounded series keep everything, exactly as before.
+	u := NewSeries("u")
+	for i := 0; i < 1000; i++ {
+		u.Add(time.Duration(i), 1)
+	}
+	if u.Len() != 1000 {
+		t.Errorf("unbounded series dropped points: %d", u.Len())
+	}
+}
+
 func TestTableRendersUnionOfXs(t *testing.T) {
 	a := NewSeries("fds")
 	a.Add(1*time.Second, 100)

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// fmtFloat renders a float the same way everywhere (shortest
+// round-trippable form), so dumps are byte-stable.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders {k="v",...} (empty string when unlabeled).
+func promLabels(keys, vals []string, extra ...string) string {
+	if len(keys) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	emit := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for i, k := range keys {
+		emit(k, vals[i])
+	}
+	for i := 0; i < len(extra); i += 2 {
+		emit(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes the registry's current state in the Prometheus text
+// exposition format, families sorted by name. Counters and gauges
+// expose their instantaneous value; histograms are exposed as a
+// summary (quantile-labeled samples plus _sum and _count). Polled
+// gauges expose their cached last sample and never call their
+// callback here, so exposition cannot race the engine.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.sortedFams() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.children {
+			if err := writePromChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromChild(w io.Writer, f *Family, c instrument) error {
+	switch h := c.(type) {
+	case *Histogram:
+		h.mu.Lock()
+		qs := [3]float64{h.h.P50(), h.h.P95(), h.h.P99()}
+		sum, n := h.h.Sum, h.h.Count
+		h.mu.Unlock()
+		for i, q := range []string{"0.5", "0.95", "0.99"} {
+			v := qs[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(f.keys, h.vals, "quantile", q), fmtFloat(v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(f.keys, h.vals), fmtFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(f.keys, h.vals), n)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(f.keys, c.labelVals()), fmtFloat(c.current()))
+		return err
+	}
+}
+
+// WriteJSONL dumps every sampled series, one JSON object per line, in
+// registration order. The JSON is built by hand with a fixed key
+// order and fixed float formatting, so same-seed sim runs produce
+// byte-identical files at any -parallel value. Points are
+// [t_nanoseconds, value] pairs; non-finite values become null.
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.fams {
+		for _, c := range f.children {
+			for _, s := range c.allSeries() {
+				b.Reset()
+				writeSeriesJSON(&b, f, c, s)
+				if _, err := io.WriteString(w, b.String()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeriesJSON(b *strings.Builder, f *Family, c instrument, s *metrics.Series) {
+	b.WriteString(`{"name":`)
+	b.WriteString(strconv.Quote(s.Name))
+	b.WriteString(`,"family":`)
+	b.WriteString(strconv.Quote(f.name))
+	b.WriteString(`,"kind":"`)
+	b.WriteString(f.kind.String())
+	b.WriteString(`","labels":{`)
+	vals := c.labelVals()
+	for i, k := range f.keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		b.WriteString(strconv.Quote(vals[i]))
+	}
+	b.WriteString(`},"points":[`)
+	for i, p := range s.Points {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('[')
+		b.WriteString(strconv.FormatInt(int64(p.T), 10))
+		b.WriteByte(',')
+		if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+			b.WriteString("null")
+		} else {
+			b.WriteString(fmtFloat(p.V))
+		}
+		b.WriteByte(']')
+	}
+	b.WriteString("]}\n")
+}
+
+// WriteCSV dumps every sampled point as series,t_ns,value rows (header
+// first), series in registration order, points in time order within a
+// series. Same determinism contract as WriteJSONL.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := io.WriteString(w, "series,t_ns,value\n"); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, f := range r.fams {
+		for _, c := range f.children {
+			for _, s := range c.allSeries() {
+				b.Reset()
+				name := s.Name
+				if strings.ContainsAny(name, ",\"\n") {
+					name = `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+				}
+				for _, p := range s.Points {
+					b.WriteString(name)
+					b.WriteByte(',')
+					b.WriteString(strconv.FormatInt(int64(p.T), 10))
+					b.WriteByte(',')
+					if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+						b.WriteString("NaN")
+					} else {
+						b.WriteString(fmtFloat(p.V))
+					}
+					b.WriteByte('\n')
+				}
+				if _, err := io.WriteString(w, b.String()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SeriesNames returns every sampled series name in registration order
+// (test helper).
+func (r *Registry) SeriesNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var names []string
+	for _, f := range r.fams {
+		for _, c := range f.children {
+			for _, s := range c.allSeries() {
+				names = append(names, s.Name)
+			}
+		}
+	}
+	return names
+}
+
+// FamilyNames returns the registered family names, sorted (test
+// helper).
+func (r *Registry) FamilyNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.fams))
+	for _, f := range r.fams {
+		names = append(names, f.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -107,6 +107,10 @@ func NewServer(e core.Backend, name string, blackHole bool, cfg Config) *Server 
 // Busy reports whether a transfer is in progress on this server.
 func (s *Server) Busy() bool { return s.lane.InUse() > 0 }
 
+// Lane exposes the server's service-lane manager for observability
+// hooks and gauges.
+func (s *Server) Lane() *lease.Manager { return s.lane }
+
 // SetBlackHole turns black-hole behaviour on or off at runtime,
 // modeling a service that wedges and is later repaired. Clients already
 // absorbed stay absorbed until their own timeouts free them.

@@ -55,8 +55,9 @@ type Engine struct {
 	yielded chan struct{} // process -> engine token handoff
 	current *Proc
 
-	rng    *rand.Rand
-	events int64
+	rng         *rand.Rand
+	events      int64
+	compactions int64 // canceled-timer heap compactions performed
 	// MaxEvents bounds the total number of scheduling steps as a guard
 	// against accidental infinite simulations. Zero means the default.
 	MaxEvents int64
@@ -86,6 +87,18 @@ func (e *Engine) Elapsed() time.Duration { return e.now }
 // Events reports how many scheduling steps (process resumptions and timer
 // firings) the engine has executed.
 func (e *Engine) Events() int64 { return e.events }
+
+// RunQueueLen reports the number of currently runnable processes
+// (observability; must be called under the engine token).
+func (e *Engine) RunQueueLen() int { return e.rqLen }
+
+// TimerHeapLen reports the number of heap entries, including canceled
+// entries not yet compacted away (observability; engine token).
+func (e *Engine) TimerHeapLen() int { return e.timers.Len() }
+
+// Compactions reports how many canceled-timer heap compactions the
+// engine has performed (observability; engine token).
+func (e *Engine) Compactions() int64 { return e.compactions }
 
 // Rand returns the engine's deterministic random source. It must only be
 // used under the engine token (from processes or timer callbacks).
@@ -196,6 +209,7 @@ func (e *Engine) compactTimers() {
 	}
 	heap.Init(&e.timers)
 	e.dead = 0
+	e.compactions++
 }
 
 // compactThreshold is the heap size below which canceled entries are

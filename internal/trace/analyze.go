@@ -5,6 +5,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Summary aggregates one discipline's (one process's) behavior over a
@@ -40,6 +42,16 @@ type Summary struct {
 	Busy    time.Duration // in an attempt, probing, or holding
 	Idle    time.Duration // window minus busy, backoff, and cs-wait
 	Wasted  time.Duration // attempt time ending in collision or failure
+
+	// Span distributions: every completed holding span, penalty
+	// backoff, and polite cs-wait contributes one observation (in
+	// seconds), so the quantile table (WriteQuantiles) can report
+	// P50/P95/P99 alongside Min/Max/Mean. The aggregate duration
+	// columns above are unchanged — the frozen WriteSummary layout
+	// does not render these.
+	HoldingDist *metrics.Histogram
+	BackoffDist *metrics.Histogram
+	CSWaitDist  *metrics.Histogram
 
 	Window time.Duration // per-thread observation window
 }
@@ -123,7 +135,13 @@ func Analyze(t *Tracer) []Summary {
 
 	sums := make([]Summary, len(t.procs))
 	for pid, name := range t.procs {
-		sums[pid] = Summary{Proc: name, Window: window}
+		sums[pid] = Summary{
+			Proc:        name,
+			Window:      window,
+			HoldingDist: metrics.NewHistogram(name + "/holding"),
+			BackoffDist: metrics.NewHistogram(name + "/backoff"),
+			CSWaitDist:  metrics.NewHistogram(name + "/cs-wait"),
+		}
 	}
 	for _, th := range t.threads {
 		sums[th.pid].Threads++
@@ -181,10 +199,13 @@ func Analyze(t *Tracer) []Summary {
 		case KBackoffEnd:
 			if st.inBackoff {
 				st.inBackoff = false
+				d := ev.At - st.backoffStart
 				if st.backoffKind == "defer" {
-					s.CSWait += ev.At - st.backoffStart
+					s.CSWait += d
+					s.CSWaitDist.Observe(d.Seconds())
 				} else {
-					s.Backoff += ev.At - st.backoffStart
+					s.Backoff += d
+					s.BackoffDist.Observe(d.Seconds())
 				}
 			}
 		case KAcquire:
@@ -197,6 +218,7 @@ func Analyze(t *Tracer) []Summary {
 				st.holdDepth--
 				if st.holdDepth == 0 {
 					s.Holding += ev.At - st.holdStart
+					s.HoldingDist.Observe((ev.At - st.holdStart).Seconds())
 				}
 			}
 		case KRevoke:
@@ -205,6 +227,7 @@ func Analyze(t *Tracer) []Summary {
 				st.holdDepth--
 				if st.holdDepth == 0 {
 					s.Holding += ev.At - st.holdStart
+					s.HoldingDist.Observe((ev.At - st.holdStart).Seconds())
 				}
 			}
 		}
@@ -224,14 +247,18 @@ func Analyze(t *Tracer) []Summary {
 		st := &states[tid]
 		s := &sums[t.threads[tid].pid]
 		if st.inBackoff {
+			d := window - st.backoffStart
 			if st.backoffKind == "defer" {
-				s.CSWait += window - st.backoffStart
+				s.CSWait += d
+				s.CSWaitDist.Observe(d.Seconds())
 			} else {
-				s.Backoff += window - st.backoffStart
+				s.Backoff += d
+				s.BackoffDist.Observe(d.Seconds())
 			}
 		}
 		if st.holdDepth > 0 {
 			s.Holding += window - st.holdStart
+			s.HoldingDist.Observe((window - st.holdStart).Seconds())
 		}
 		if st.busy() {
 			s.Busy += window - st.busyStart
@@ -304,6 +331,76 @@ func WriteSummary(w io.Writer, sums []Summary) error {
 		}
 	}
 	return nil
+}
+
+// WriteQuantiles renders the per-discipline span distributions —
+// holding, penalty backoff, and polite cs-wait — as an aligned text
+// table of count, min, mean, P50, P95, P99, and max. It is a separate
+// table from WriteSummary because the summary's column layout is
+// frozen by the seed goldens; gridbench emits it only under
+// -trace-quantiles.
+func WriteQuantiles(w io.Writer, sums []Summary) error {
+	if _, err := fmt.Fprintf(w, "# trace quantiles: window=%s\n", durStr(windowOf(sums))); err != nil {
+		return err
+	}
+	header := []string{"discipline", "span", "count", "min", "mean", "p50", "p95", "p99", "max"}
+	rows := [][]string{header}
+	for _, s := range sums {
+		for _, d := range []struct {
+			span string
+			h    *metrics.Histogram
+		}{
+			{"holding", s.HoldingDist},
+			{"backoff", s.BackoffDist},
+			{"cs-wait", s.CSWaitDist},
+		} {
+			if d.h == nil {
+				continue
+			}
+			rows = append(rows, []string{
+				s.Proc,
+				d.span,
+				fmt.Sprintf("%d", d.h.Count),
+				secStr(d.h.Min()),
+				secStr(d.h.Mean()),
+				secStr(d.h.P50()),
+				secStr(d.h.P95()),
+				secStr(d.h.P99()),
+				secStr(d.h.Max()),
+			})
+		}
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i <= 1 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// secStr renders a span observation (recorded in seconds) as a
+// millisecond-rounded duration cell.
+func secStr(sec float64) string {
+	return durStr(time.Duration(sec * float64(time.Second)))
 }
 
 func windowOf(sums []Summary) time.Duration {

@@ -308,3 +308,47 @@ func TestWriteSummaryTable(t *testing.T) {
 		t.Fatalf("summary has %d lines, want 3 (comment, header, one row):\n%s", len(lines), out)
 	}
 }
+
+// TestWriteQuantiles drives one client through three holding spans, one
+// penalty backoff, and one cs-wait, then byte-checks the quantile
+// table: the distributions are deterministic, so the rendering is too.
+func TestWriteQuantiles(t *testing.T) {
+	tr := New()
+	clk := &fakeClock{}
+	c := tr.NewClient("Ethernet", "client-0", clk.read)
+
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	clk.at(sec(0))
+	c.Acquire("r", 1)
+	clk.at(sec(1))
+	c.Release("r", 1) // 1 s hold
+	c.Acquire("r", 1)
+	clk.at(sec(3))
+	c.Release("r", 1) // 2 s hold
+	c.Acquire("r", 1)
+	clk.at(sec(6))
+	c.Release("r", 1) // 3 s hold
+	c.BackoffStart(2*time.Second, "collision")
+	clk.at(sec(8))
+	c.BackoffEnd() // 2 s penalty backoff
+	c.BackoffStart(time.Second, "defer")
+	clk.at(sec(9))
+	c.BackoffEnd() // 1 s polite cs-wait
+
+	sums := Analyze(tr)
+	var sb strings.Builder
+	if err := WriteQuantiles(&sb, sums); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# trace quantiles: window=9s",
+		"discipline  span     count  min  mean  p50   p95    p99  max",
+		"Ethernet    holding      3   1s    2s   2s  2.9s  2.98s   3s",
+		"Ethernet    backoff      1   2s    2s   2s    2s     2s   2s",
+		"Ethernet    cs-wait      1   1s    1s   1s    1s     1s   1s",
+		"",
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("quantile table:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

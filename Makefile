@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke golden ci
 
 all: build
 
@@ -71,8 +71,19 @@ obs-smoke:
 	$(GO) test -race ./internal/obs -run 'TestNilHotPathZeroAlloc|TestEnabledHotPathZeroAlloc|TestConcurrentWritesWithExposition' -count=1
 	$(GO) test ./internal/obs -run NONE -bench . -benchtime 100x
 
+# Unreliable-channel gate: the lease wire's fault semantics (drop, dup,
+# delay, watchdog races — including the delayed-renew/delayed-release
+# book-leak regression) under the race detector, the fenced/unfenced
+# channel ablation across both presets and seeds 1-3 on both backends,
+# the preset composition audit, and the FigNet golden.
+net-smoke:
+	$(GO) test -race ./internal/lease -run TestWire -count=1
+	$(GO) test -race ./internal/chaos -run 'TestPresetPairsCompose|TestComposedSummaryDeterministic' -count=1
+	$(GO) test -race ./internal/expt -run 'TestNetCell|TestNetNoDoubleAlloc|TestTypedErrorAudit' -count=1
+	$(GO) test ./cmd/gridbench -run TestGoldenFigNetTable -count=1
+
 # Rewrite the gridbench golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke

@@ -55,16 +55,21 @@ func golden(t *testing.T, name string, args ...string) {
 // figure from each scenario, in both formats, with and without a fault
 // plan. Any change to simulation order, RNG consumption, or rendering
 // shows up here as a diff.
-func TestGoldenFig1Table(t *testing.T)  { golden(t, "fig1_table", "-fig", "1", "-scale", "0.1") }
-func TestGoldenFig4Table(t *testing.T)  { golden(t, "fig4_table", "-fig", "4", "-scale", "0.1") }
-func TestGoldenFig7Table(t *testing.T)  { golden(t, "fig7_table", "-fig", "7", "-scale", "0.2") }
-func TestGoldenFig7TSV(t *testing.T)    { golden(t, "fig7_tsv", "-fig", "7", "-scale", "0.2", "-format", "tsv") }
+func TestGoldenFig1Table(t *testing.T) { golden(t, "fig1_table", "-fig", "1", "-scale", "0.1") }
+func TestGoldenFig4Table(t *testing.T) { golden(t, "fig4_table", "-fig", "4", "-scale", "0.1") }
+func TestGoldenFig7Table(t *testing.T) { golden(t, "fig7_table", "-fig", "7", "-scale", "0.2") }
+func TestGoldenFig7TSV(t *testing.T) {
+	golden(t, "fig7_tsv", "-fig", "7", "-scale", "0.2", "-format", "tsv")
+}
 func TestGoldenFig7Chaos(t *testing.T) {
 	golden(t, "fig7_chaos", "-fig", "7", "-scale", "0.2", "-chaos", "mixed", "-check")
 }
 func TestGoldenFigLATable(t *testing.T) { golden(t, "figla_table", "-fig", "la", "-scale", "0.1") }
 func TestGoldenFigResTable(t *testing.T) {
 	golden(t, "figres_table", "-fig", "res", "-scale", "0.1")
+}
+func TestGoldenFigNetTable(t *testing.T) {
+	golden(t, "fignet_table", "-fig", "net", "-scale", "0.1")
 }
 
 func TestDeterministicWithChaos(t *testing.T) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gridbench [-fig N|la|res] [-seed S] [-scale F] [-format table|tsv]
+//	gridbench [-fig N|la|res|net] [-seed S] [-scale F] [-format table|tsv]
 //	          [-backend sim|live] [-timescale F]
 //	          [-parallel N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
@@ -22,11 +22,17 @@
 // reservation/admission-control ablation: the fourth discipline booked
 // on an admission book, head-to-head against leased Ethernet, fault-free
 // and under the res-flap plan (see internal/lease.Book and
-// internal/expt.FigRes).
+// internal/expt.FigRes). Figure "net" is the unreliable-channel
+// ablation: submitter populations whose client-resource messages cross
+// a lossy, duplicating, partitioning network, with the survival
+// mechanisms (fencing epochs, idempotency keys, retry budgets) armed
+// and ablated under the dup-storm and part-flap plans (see
+// internal/lease SetWire and internal/expt.FigNet).
 //
 // -chaos regenerates the figures under a named fault-injection plan
-// (see internal/chaos; plans: bursts, crashes, flap, latency, mixed,
-// squeeze), deterministically scheduled from -chaos-seed. -check runs
+// (see internal/chaos; plans: bursts, crashes, dup-storm, flap,
+// latency, mixed, part-flap, squeeze, stuck-holder, res-flap),
+// deterministically scheduled from -chaos-seed. -check runs
 // the invariant-checker suite alongside every figure and fails the run
 // if any safety or liveness property is violated.
 //
@@ -96,7 +102,7 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "", "figure to regenerate (1-7 or la); empty means all")
+	fig := fs.String("fig", "", "figure to regenerate (1-7, la, res, or net); empty means all")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
 	format := fs.String("format", "table", "output format: table or tsv")
@@ -223,13 +229,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *check {
 		opt.Check = &chaos.Recorder{}
 	}
-	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la", "res"}
+	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la", "res", "net"}
 	if *fig != "" {
 		switch *fig {
-		case "1", "2", "3", "4", "5", "6", "7", "la", "res":
+		case "1", "2", "3", "4", "5", "6", "7", "la", "res", "net":
 			figs = []string{*fig}
 		default:
-			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation)\n", *fig)
+			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation, \"net\" the unreliable-channel ablation)\n", *fig)
 			return 2
 		}
 	}
@@ -298,6 +304,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			r.dump(ra.Throughput)
 			fmt.Fprintf(r.w, "# admission: book rejections (steady/flap), dead windows and lapses under flap, Ethernet flap crashes\n")
 			r.dump(ra.Admission)
+		case "net":
+			r.header("NET", "Unreliable Channel Ablation", "fenced vs unfenced submitters under dup-storm and part-flap channel chaos")
+			na := expt.FigNet(opt)
+			r.dump(na.Throughput)
+			fmt.Fprintf(r.w, "# integrity: phantom jobs and double-allocations (unfenced arms); fence rejections and deduplicated retries (fenced arms)\n")
+			r.dump(na.Integrity)
+			fmt.Fprintf(r.w, "# channel: submit-path request drops, lease-wire drops/dups, watchdog revocations (fenced arms)\n")
+			r.dump(na.Channel)
 		}
 		// Single-discipline figures: re-run the other disciplines into
 		// the same trace so the summary compares all three on one seed.

@@ -170,6 +170,101 @@ func (s StuckHolder) arm(a *Armed, t Targets) {
 }
 
 // ---------------------------------------------------------------------
+// Channel-fault specs (the client<->resource boundary)
+// ---------------------------------------------------------------------
+
+// MsgDrop swallows messages at a channel Site with probability Prob
+// while the window is open: requests that never arrive, replies and
+// release notices that never make it back. The sender observes only
+// that the operation did not complete (core.ErrLost at operation
+// sites; a silent leak at lease wires, healed by the watchdog).
+type MsgDrop struct {
+	Window
+	// Site is a channel site (condor.InjectNet, fsbuffer.InjectNet,
+	// replica.InjectNet, or a substrate's reply site).
+	Site string
+	// Prob is the per-message drop probability; >= 1 drops every one.
+	Prob float64
+}
+
+func (s MsgDrop) arm(a *Armed, t Targets) {
+	from, to := s.resolve(a, t.Window)
+	a.addWindow(s.Site, &siteWindow{from: from, to: to, prob: s.Prob, drop: true})
+}
+
+// MsgDup delivers messages at a channel Site twice with probability
+// Prob while the window is open: a retransmission whose original was
+// not lost after all. Receivers without idempotency keys or fencing
+// apply the effect twice — the at-most-once violation this subsystem
+// exists to defend against.
+type MsgDup struct {
+	Window
+	Site string
+	// Prob is the per-message duplication probability.
+	Prob float64
+}
+
+func (s MsgDup) arm(a *Armed, t Targets) {
+	from, to := s.resolve(a, t.Window)
+	a.addWindow(s.Site, &siteWindow{from: from, to: to, prob: s.Prob, dup: true})
+}
+
+// MsgDelay holds messages at a channel Site in flight for Extra (plus
+// up to Jitter of seeded random) while the window is open. Because
+// each message draws its own jitter, adjacent messages can overtake
+// one another — delay with jitter is also the reordering fault, and a
+// delivery can arrive after the receiver has moved on (where fencing
+// decides its fate).
+type MsgDelay struct {
+	Window
+	Site string
+	// Extra is the added in-flight time per message.
+	Extra time.Duration
+	// Jitter adds a uniform random extra in [0, Jitter) per message.
+	Jitter time.Duration
+}
+
+func (s MsgDelay) arm(a *Armed, t Targets) {
+	from, to := s.resolve(a, t.Window)
+	a.addWindow(s.Site, &siteWindow{from: from, to: to, delay: s.Extra, jitter: s.Jitter})
+}
+
+// Partition severs the named channel sites outright: every message is
+// dropped while a severed phase is open, and the window's close is the
+// heal. Flaps > 1 splits the window into that many alternating
+// sever/heal phases — a flapping link rather than one clean cut. Sites
+// lists only the directions cut: naming a substrate's request site but
+// not its reply site (or vice versa) models an asymmetric link.
+type Partition struct {
+	Window
+	// Sites are the channel sites the partition severs.
+	Sites []string
+	// Flaps is the number of severed phases inside the window
+	// (alternating with healed phases); <= 1 means one clean cut for
+	// the whole window.
+	Flaps int
+}
+
+func (s Partition) arm(a *Armed, t Targets) {
+	from, to := s.resolve(a, t.Window)
+	flaps := s.Flaps
+	if flaps <= 1 {
+		for _, site := range s.Sites {
+			a.addWindow(site, &siteWindow{from: from, to: to, prob: 1, drop: true})
+		}
+		return
+	}
+	// 2*flaps-1 equal phases: severed, healed, severed, ... severed.
+	phase := (to - from) / time.Duration(2*flaps-1)
+	for i := 0; i < flaps; i++ {
+		start := from + time.Duration(2*i)*phase
+		for _, site := range s.Sites {
+			a.addWindow(site, &siteWindow{from: start, to: start + phase, prob: 1, drop: true})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
 // Scheduled-action specs (act on substrate state via engine timers)
 // ---------------------------------------------------------------------
 
@@ -327,11 +422,13 @@ func (s ScheddCrash) arm(a *Armed, t Targets) {
 // siteWindow is one materialized fault window at one site.
 type siteWindow struct {
 	from, to time.Duration
-	prob     float64 // error/hang probability (>= 1 always fires)
+	prob     float64 // error/hang/drop/dup probability (>= 1 always fires)
 	err      error   // nil for latency-only windows
 	delay    time.Duration
 	jitter   time.Duration
 	hang     bool // wedge the holder instead of erroring
+	drop     bool // swallow the message at a channel site
+	dup      bool // deliver the message twice at a channel site
 }
 
 // Armed is a plan bound to an engine and a universe. It implements
@@ -345,11 +442,13 @@ type Armed struct {
 	tr      *trace.Client
 
 	// Injected tallies, for reports: errors, delays, and hangs handed
-	// out at sites, and scheduled actions (squeezes, flaps, kills)
-	// performed.
+	// out at sites, message drops/duplications at channel sites, and
+	// scheduled actions (squeezes, flaps, kills) performed.
 	Errors  int64
 	Delays  int64
 	Hangs   int64
+	Drops   int64
+	Dups    int64
 	Actions int64
 	perSite map[string]int64
 }
@@ -435,6 +534,16 @@ func (a *Armed) Inject(site string) core.Fault {
 			a.Hangs++
 			a.perSite[site]++
 		}
+		if w.drop && (w.prob >= 1 || a.rng.Float64() < w.prob) {
+			f.Drop = true
+			a.Drops++
+			a.perSite[site]++
+		}
+		if w.dup && (w.prob >= 1 || a.rng.Float64() < w.prob) {
+			f.Dup = true
+			a.Dups++
+			a.perSite[site]++
+		}
 	}
 	return f
 }
@@ -447,6 +556,12 @@ func (a *Armed) Summary() string {
 		a.plan.Name, a.plan.Seed, a.Errors, a.Delays, a.Actions)
 	if a.Hangs > 0 {
 		fmt.Fprintf(&b, ", %d hangs", a.Hangs)
+	}
+	if a.Drops > 0 {
+		fmt.Fprintf(&b, ", %d drops", a.Drops)
+	}
+	if a.Dups > 0 {
+		fmt.Fprintf(&b, ", %d dups", a.Dups)
 	}
 	if len(a.perSite) > 0 {
 		sites := make([]string, 0, len(a.perSite))

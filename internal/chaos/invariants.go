@@ -165,6 +165,81 @@ func (inv *Invariants) Monotone(name string, value func() float64) {
 	})
 }
 
+// NoDoubleAlloc asserts the fencing safety property: a lease manager's
+// ground-truth outstanding units (granted and not yet ended by their
+// holders — lease.Manager.Outstanding) never exceed its capacity. An
+// unfenced manager under duplicated or delayed release messages
+// double-frees, inflating its apparent free capacity until grants
+// overshoot what physically exists; a fenced manager rejects the stale
+// copy and this invariant holds under any channel behaviour.
+func (inv *Invariants) NoDoubleAlloc(name string, outstanding func() int64, capacity func() int64) {
+	reported := false
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		out, cap := outstanding(), capacity()
+		if out <= cap {
+			reported = false
+			return
+		}
+		if !reported {
+			reported = true
+			inv.violate("double-alloc", now, "%s: %d units outstanding exceed capacity %d",
+				name, out, cap)
+		}
+	})
+}
+
+// Conservation asserts the at-most-once property: every applied effect
+// corresponds to exactly one distinct work unit (applied counts effects
+// booked by the server, distinct counts idempotency keys completed).
+// With keys armed the two track exactly; a duplicated request or a
+// retried reply-drop on a keyless server books phantom effects and the
+// counts diverge. Checked at every tick — both counters are cumulative,
+// so one violation latches until Finish.
+func (inv *Invariants) Conservation(name string, applied func() int64, distinct func() int64) {
+	reported := false
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		a, d := applied(), distinct()
+		if a == d {
+			reported = false
+			return
+		}
+		if !reported {
+			reported = true
+			inv.violate("conservation", now, "%s: %d effects applied for %d distinct work units",
+				name, a, d)
+		}
+	})
+}
+
+// HealLiveness asserts recovery after a partition: the cumulative
+// observable must strictly increase between healAt (when the last
+// severed phase closes) and healAt+bound. A population wedged on lost
+// leases or drained retry budgets that never resumes fails here; one
+// whose watchdogs reclaimed the lost tenures makes progress again.
+func (inv *Invariants) HealLiveness(name string, value func() float64, healAt, bound time.Duration) {
+	var base float64
+	baselined := false
+	checked := false
+	inv.ticks = append(inv.ticks, func(now time.Duration) {
+		if now < healAt || checked {
+			return
+		}
+		if !baselined {
+			baselined = true
+			base = value()
+			return
+		}
+		if now < healAt+bound {
+			return
+		}
+		checked = true
+		if v := value(); v <= base {
+			inv.violate("heal-liveness", now, "%s: no progress since the %v heal (%v then, %v now, bound %v)",
+				name, healAt, base, v, bound)
+		}
+	})
+}
+
 // Horizon asserts liveness at Finish time: the run must have advanced
 // virtual time to at least window. A simulation that quiesces early has
 // deadlocked — every client parked forever with no timer left to free

@@ -22,6 +22,16 @@ var allSites = []string{
 	channel.InjectTransmit,
 }
 
+// netSites lists every unreliable-channel site across the substrates:
+// the lease-control wires plus condor's submit request/reply seams.
+var netSites = []string{
+	condor.InjectNet,
+	condor.InjectNetReq,
+	condor.InjectNetRep,
+	fsbuffer.InjectNet,
+	replica.InjectNet,
+}
+
 // presets maps plan names to constructors. Windows are fractional so
 // the same plan stresses a 30-second smoke run and a 30-minute paper
 // run alike; the seed jitters where inside the run each fault lands.
@@ -105,6 +115,48 @@ var presets = map[string]func(seed int64) *Plan{
 			StuckHolder{Window: w, Site: replica.InjectHold, Prob: 0.12},
 			ServerFlap{Window: w, Server: 1, FracPeriod: 0.06},
 		}}
+	},
+	// part-flap: the network partitions and heals repeatedly — every
+	// channel site is severed in three flapping phases across the
+	// middle of the run, with jittered delay (reordering) bracketing
+	// the cuts. Control messages in flight when a phase opens are lost;
+	// fencing decides the fate of the late survivors. Retry budgets
+	// keep the waiting clients from storming the heal.
+	"part-flap": func(seed int64) *Plan {
+		p := &Plan{Name: "part-flap", Seed: seed, Specs: []Spec{
+			Partition{
+				Window: Window{FracStart: 0.15, FracDuration: 0.5, FracStartJitter: 0.2},
+				Sites:  netSites,
+				Flaps:  3,
+			},
+		}}
+		for _, site := range netSites {
+			p.Specs = append(p.Specs, MsgDelay{
+				Window: Window{FracStart: 0.1, FracDuration: 0.7, FracStartJitter: 0.1},
+				Site:   site,
+				Extra:  150 * time.Millisecond,
+				Jitter: 500 * time.Millisecond,
+			})
+		}
+		return p
+	},
+	// dup-storm: a retransmitting network — messages are duplicated
+	// often, dropped occasionally, and reordered throughout most of
+	// the run. The at-most-once gauntlet: without idempotency keys the
+	// schedd books phantom jobs, and without fencing a duplicated
+	// release double-frees lease units.
+	"dup-storm": func(seed int64) *Plan {
+		p := &Plan{Name: "dup-storm", Seed: seed}
+		w := Window{FracStart: 0.1, FracDuration: 0.65, FracStartJitter: 0.2}
+		for _, site := range netSites {
+			p.Specs = append(p.Specs,
+				MsgDup{Window: w, Site: site, Prob: 0.45},
+				MsgDrop{Window: w, Site: site, Prob: 0.1},
+				MsgDelay{Window: w, Site: site,
+					Extra: 100 * time.Millisecond, Jitter: 300 * time.Millisecond},
+			)
+		}
+		return p
 	},
 	// mixed: a lighter dose of everything at once.
 	"mixed": func(seed int64) *Plan {

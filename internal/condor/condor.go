@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -74,6 +75,13 @@ type Config struct {
 	// default, and the paper's figures 1–3) means unlimited tenure —
 	// holds are never revoked.
 	LeaseQuantum time.Duration
+	// Unfenced disables the survival mechanisms against an unreliable
+	// channel: the FD table applies lease control messages without
+	// epoch fencing, and the schedd re-runs retried work units instead
+	// of deduplicating them by idempotency key. It exists for the
+	// FigNet ablation; the default (false) is the defended
+	// configuration.
+	Unfenced bool
 }
 
 // DefaultConfig returns the parameters used for the paper figures.
@@ -231,6 +239,18 @@ const (
 	// injected Hang turns the client into a black hole while holding,
 	// the stuck-holder failure mode the lease watchdog exists for.
 	InjectHold = "condor/hold"
+	// InjectNet covers the lease-control channel between FD holders and
+	// the table: drops lose release/renew messages, dups deliver them
+	// twice, delays put them in flight (see lease.Manager.SetWire).
+	InjectNet = "condor/net"
+	// InjectNetReq covers the request direction of a keyed submission
+	// (client -> schedd): a drop means the job never reached the queue.
+	InjectNetReq = "condor/net/req"
+	// InjectNetRep covers the reply direction (schedd -> client): a drop
+	// means the job landed but the acknowledgement was lost, so the
+	// client retries work that already happened — the at-most-once
+	// hazard idempotency keys exist for.
+	InjectNetRep = "condor/net/rep"
 )
 
 // Errors distinguishing submission failure modes; all are collisions in
@@ -262,6 +282,20 @@ type Schedd struct {
 	// Jobs counts successful submissions; Crashes counts schedd deaths.
 	Jobs    int64
 	Crashes int64
+
+	// Idempotency: seen marks work-unit keys whose effect has already
+	// applied, so a client retry under drop/dup is at-most-once. Unique
+	// counts distinct completed keys; Deduped counts retries and
+	// duplicates the key fenced off; NetDrops counts messages the
+	// channel swallowed. With keys honored (the default), Jobs ==
+	// Unique always — the unit-conservation invariant. Unfenced, a
+	// reply-drop retry or a duplicated request re-applies the effect
+	// and Jobs drifts above Unique.
+	seen     map[string]bool
+	keySeq   int64
+	Unique   int64
+	Deduped  int64
+	NetDrops int64
 }
 
 // Cluster bundles the shared FD table and the schedd.
@@ -287,8 +321,13 @@ func NewCluster(e core.Backend, cfg Config) *Cluster {
 }
 
 // SetInjector installs a fault injector consulted at this cluster's
-// failure sites. A nil injector (the default) disables injection.
-func (c *Cluster) SetInjector(inj core.Injector) { c.Schedd.inj = inj }
+// failure sites, and routes the FD table's lease-control messages
+// through it at InjectNet (fenced unless Config.Unfenced). A nil
+// injector (the default) disables injection and removes the wire.
+func (c *Cluster) SetInjector(inj core.Injector) {
+	c.Schedd.inj = inj
+	c.FDs.Manager().SetWire(inj, InjectNet, !c.Cfg.Unfenced)
+}
 
 // Down reports whether the schedd is currently crashed.
 func (s *Schedd) Down() bool { return s.down }
@@ -398,6 +437,97 @@ func (s *Schedd) Submit(p core.Proc, ctx context.Context) error {
 		l1.Renew()
 		l2.Renew()
 	}, l1, l2)
+}
+
+// MintKey returns a fresh work-unit idempotency key, unique within
+// this schedd (engine token). Clients mint one key per work unit and
+// reuse it across every retry of that unit: uniqueness cannot be
+// derived from process names, which scenarios are free to share.
+func (s *Schedd) MintKey() string {
+	s.keySeq++
+	return "u" + strconv.FormatInt(s.keySeq, 10)
+}
+
+// SubmitKeyed is Submit across an unreliable channel, carrying an
+// idempotency key naming the work unit. The request may be dropped or
+// duplicated in flight (InjectNetReq) and the acknowledgement may be
+// lost on the way back (InjectNetRep); in both cases the client
+// observes only an untyped loss and retries. The schedd's seen-set
+// makes the retry at-most-once: a key whose effect already applied is
+// acknowledged without re-running the job. An empty key (or
+// Config.Unfenced) disables deduplication — every arrival re-runs.
+func (s *Schedd) SubmitKeyed(p core.Proc, ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	tr := p.Tracer()
+	var dup bool
+	// Request direction: client -> schedd.
+	if f := core.InjectAt(s.inj, InjectNetReq); !f.Zero() {
+		if f.Delay > 0 {
+			if err := p.Sleep(ctx, f.Delay); err != nil {
+				return err
+			}
+		}
+		if f.Drop || f.Err != nil {
+			// The submission never arrived. The client pays the connect
+			// timeout before concluding anything — loss is silence.
+			tr.MsgDrop("schedd")
+			s.NetDrops++
+			if err := p.Sleep(ctx, s.cfg.ConnectFailTime); err != nil {
+				return err
+			}
+			return core.Collision("net", core.ErrLost)
+		}
+		dup = f.Dup
+	}
+	// At-most-once: a retry of an already-applied work unit is
+	// acknowledged from the seen-set instead of re-running.
+	if key != "" && !s.cfg.Unfenced && s.seen[key] {
+		s.Deduped++
+		tr.MsgDup("schedd")
+		return nil
+	}
+	if err := s.Submit(p, ctx); err != nil {
+		return err
+	}
+	if key != "" {
+		if s.seen == nil {
+			s.seen = make(map[string]bool)
+		}
+		if !s.seen[key] {
+			s.seen[key] = true
+			s.Unique++
+		}
+	}
+	if dup {
+		// The duplicated request also reaches the schedd. Keyed, the
+		// seen-set fences the copy; unfenced, the job runs twice and
+		// unit conservation breaks (Jobs > Unique).
+		tr.MsgDup("schedd")
+		if key != "" && !s.cfg.Unfenced {
+			s.Deduped++
+		} else {
+			s.Jobs++
+		}
+	}
+	// Reply direction: schedd -> client. The effect is applied; only
+	// the acknowledgement is at risk now.
+	if f := core.InjectAt(s.inj, InjectNetRep); !f.Zero() {
+		if f.Delay > 0 {
+			if err := p.Sleep(ctx, f.Delay); err != nil {
+				return err
+			}
+		}
+		if f.Drop || f.Err != nil {
+			// The ack was lost: the client will retry a job that already
+			// landed. The seen-set (above) is what makes that safe.
+			tr.MsgDrop("schedd")
+			s.NetDrops++
+			return core.Collision("net", core.ErrLost)
+		}
+	}
+	return nil
 }
 
 // serve is the schedd side of a submission, shared by Submit and

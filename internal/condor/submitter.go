@@ -31,6 +31,10 @@ type SubmitterConfig struct {
 	// invocation. Capping it near the lease quantum keeps a deferred
 	// client's retry cadence inside the reclamation cycle.
 	Backoff *core.Backoff
+	// Budget optionally rate-limits retries (see core.RetryBudget):
+	// under a partition the client waits for tokens instead of
+	// storming. Shared template, cloned per work unit.
+	Budget *core.RetryBudget
 }
 
 // DefaultSubmitterConfig mirrors the paper's scripts.
@@ -70,14 +74,20 @@ func (sub *Submitter) Loop(p core.Proc, ctx context.Context, cl *Cluster, cfg Su
 			return err
 		},
 		Backoff:  cfg.Backoff,
+		Budget:   cfg.Budget,
 		Observer: cfg.Observer,
 		Trace:    cfg.Trace,
 		Site:     "fds",
 		Span:     "submit",
 	}
 	for ctx.Err() == nil {
+		// One work unit = one idempotency key: every retry inside the
+		// try below names the same job, so a reply-drop retry cannot
+		// submit it twice. The schedd mints the key — process names may
+		// be shared across clients and cannot disambiguate work units.
+		key := cl.Schedd.MintKey()
 		err := client.Do(ctx, func(ctx context.Context) error {
-			return cl.Schedd.Submit(p, ctx)
+			return cl.Schedd.SubmitKeyed(p, ctx, key)
 		})
 		switch {
 		case err == nil:

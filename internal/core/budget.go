@@ -1,0 +1,64 @@
+package core
+
+import "time"
+
+// RetryBudget is a token-bucket limiter on retry *rate*. Exponential
+// backoff already spaces an individual client's retries, but when a
+// partition severs many clients from a resource at once, every one of
+// them fails fast and re-enters backoff from its base — the collective
+// effect is a retry storm precisely when the medium is least able to
+// absorb one. A budget bounds the storm: each retry debits one token,
+// tokens accrue at Rate per (virtual) second up to Burst, and a client
+// whose bucket is empty extends its backoff sleep until the next token
+// accrues instead of retrying on schedule.
+//
+// Like Backoff, a RetryBudget in a TryConfig is a shared template: each
+// Try clones it, so concurrent Trys never contend on the bucket and a
+// budget bounds each client's rate, not the aggregate. The zero value
+// (or a nil pointer) disables budgeting entirely.
+type RetryBudget struct {
+	// Rate is tokens (retries) accrued per second of backend time.
+	// Zero or negative disables the budget.
+	Rate float64
+	// Burst caps the bucket. Zero or negative defaults to max(Rate, 1):
+	// roughly one second of accrual, and never less than one whole
+	// token so the first retry is always free.
+	Burst float64
+
+	level float64   // current tokens; negative = queued deficit
+	last  time.Time // accrual high-water mark
+	armed bool      // bucket has been initialised (starts full)
+}
+
+// debit spends one token at now and reports how long the caller must
+// sleep before the retry is within budget (zero when a token was
+// available). Repeated debits against an empty bucket queue behind one
+// another: the deficit grows and each successive wait lands one
+// token-interval later, serializing retries at Rate. Nil-safe.
+func (b *RetryBudget) debit(now time.Time) time.Duration {
+	if b == nil || b.Rate <= 0 {
+		return 0
+	}
+	burst := b.Burst
+	if burst <= 0 {
+		burst = b.Rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if !b.armed {
+		b.armed = true
+		b.level = burst // a fresh bucket starts full
+	} else {
+		b.level += now.Sub(b.last).Seconds() * b.Rate
+		if b.level > burst {
+			b.level = burst
+		}
+	}
+	b.last = now
+	b.level--
+	if b.level >= 0 {
+		return 0
+	}
+	return time.Duration(-b.level / b.Rate * float64(time.Second))
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// at is a convenience clock for driving debit directly.
+func at(d time.Duration) time.Time { return Epoch.Add(d) }
+
+func TestRetryBudgetNilAndDisabledAreFree(t *testing.T) {
+	var b *RetryBudget
+	if got := b.debit(at(0)); got != 0 {
+		t.Errorf("nil budget debit = %v, want 0", got)
+	}
+	zero := &RetryBudget{}
+	for i := 0; i < 100; i++ {
+		if got := zero.debit(at(time.Duration(i) * time.Millisecond)); got != 0 {
+			t.Fatalf("zero-rate budget debit #%d = %v, want 0", i, got)
+		}
+	}
+}
+
+func TestRetryBudgetFreshBucketStartsFull(t *testing.T) {
+	b := &RetryBudget{Rate: 1, Burst: 3}
+	// The first Burst debits at one instant are free; the next queues.
+	for i := 0; i < 3; i++ {
+		if got := b.debit(at(0)); got != 0 {
+			t.Fatalf("debit #%d from a fresh burst-3 bucket = %v, want 0", i, got)
+		}
+	}
+	if got := b.debit(at(0)); got != time.Second {
+		t.Errorf("debit past the burst = %v, want 1s (one token at rate 1/s)", got)
+	}
+}
+
+func TestRetryBudgetDefaultBurst(t *testing.T) {
+	// Burst <= 0 defaults to max(Rate, 1): the first retry is always
+	// free, even at fractional rates.
+	slow := &RetryBudget{Rate: 0.25}
+	if got := slow.debit(at(0)); got != 0 {
+		t.Errorf("first debit at rate 0.25 = %v, want 0 (burst floor of 1)", got)
+	}
+	if got := slow.debit(at(0)); got != 4*time.Second {
+		t.Errorf("second debit at rate 0.25 = %v, want 4s", got)
+	}
+	fast := &RetryBudget{Rate: 5}
+	for i := 0; i < 5; i++ {
+		if got := fast.debit(at(0)); got != 0 {
+			t.Fatalf("debit #%d at rate 5 = %v, want 0 (default burst = rate)", i, got)
+		}
+	}
+	if fast.debit(at(0)) == 0 {
+		t.Error("sixth debit at rate 5 should have exceeded the default burst")
+	}
+}
+
+func TestRetryBudgetDeficitQueues(t *testing.T) {
+	b := &RetryBudget{Rate: 2, Burst: 1}
+	if got := b.debit(at(0)); got != 0 {
+		t.Fatalf("first debit = %v, want 0", got)
+	}
+	// Empty bucket, no time passed: each further debit lands one
+	// token-interval (500ms at rate 2) later than the one before —
+	// retries serialize at Rate instead of bunching on the next token.
+	for i := 1; i <= 4; i++ {
+		want := time.Duration(i) * 500 * time.Millisecond
+		if got := b.debit(at(0)); got != want {
+			t.Errorf("queued debit #%d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRetryBudgetAccruesAndCaps(t *testing.T) {
+	b := &RetryBudget{Rate: 1, Burst: 2}
+	b.debit(at(0)) // arm: level 2 -> 1
+	b.debit(at(0)) // level 1 -> 0
+	// One second accrues one token.
+	if got := b.debit(at(time.Second)); got != 0 {
+		t.Errorf("debit after 1s accrual = %v, want 0", got)
+	}
+	// A long idle stretch caps at Burst, not at Rate*idle: only two
+	// free debits, however long the client slept.
+	for i := 0; i < 2; i++ {
+		if got := b.debit(at(time.Hour)); got != 0 {
+			t.Fatalf("post-idle debit #%d = %v, want 0", i, got)
+		}
+	}
+	if got := b.debit(at(time.Hour)); got != time.Second {
+		t.Errorf("third post-idle debit = %v, want 1s: burst cap not applied", got)
+	}
+}
+
+func TestRetryBudgetDeficitDrainsWithTime(t *testing.T) {
+	b := &RetryBudget{Rate: 1, Burst: 1}
+	b.debit(at(0)) // level 1 -> 0
+	if b.debit(at(0)) != time.Second {
+		t.Fatal("expected a 1s deficit")
+	}
+	// Sleeping out the prescribed wait restores balance exactly: the
+	// next debit queues one interval again, no compounding drift.
+	if got := b.debit(at(time.Second)); got != time.Second {
+		t.Errorf("debit after paying the deficit = %v, want 1s", got)
+	}
+}

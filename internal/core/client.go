@@ -92,6 +92,10 @@ type Client struct {
 	// Backoff optionally overrides the paper-default backoff (Aloha and
 	// Ethernet only).
 	Backoff *Backoff
+	// Budget optionally rate-limits retries with a token bucket (see
+	// RetryBudget): partitions then degrade into budget-paced waiting
+	// instead of retry storms. Shared template, cloned per Do.
+	Budget *RetryBudget
 	// Observer receives discipline events.
 	Observer Observer
 	// Trace, when non-nil, records the client's attempt/backoff/sense
@@ -106,7 +110,7 @@ type Client struct {
 // Do runs op under the client's discipline until it succeeds or the
 // limit is exhausted.
 func (c *Client) Do(ctx context.Context, op Op) error {
-	cfg := TryConfig{Observer: c.Observer, Backoff: c.Backoff, Trace: c.Trace, Site: c.Site, Span: c.Span}
+	cfg := TryConfig{Observer: c.Observer, Backoff: c.Backoff, Budget: c.Budget, Trace: c.Trace, Site: c.Site, Span: c.Span}
 	switch c.Discipline {
 	case Fixed:
 		cfg.NoBackoff = true

@@ -26,11 +26,15 @@ var ErrDeferred = errors.New("deferred: carrier busy")
 var ErrFailure = errors.New("failure")
 
 // Collision wraps err (which may be nil) as a collision on resource name.
+// The inner error stays on the errors.Is/As chain: a caller that needs
+// to know *why* the collision happened (a typed rejection, a revoked
+// lease, an injected fault) can still see through the coarse wrapper,
+// while code that only counts collisions keeps matching ErrCollision.
 func Collision(name string, err error) error {
 	if err == nil {
 		return fmt.Errorf("%s: %w", name, ErrCollision)
 	}
-	return fmt.Errorf("%s: %w: %v", name, ErrCollision, err)
+	return fmt.Errorf("%s: %w: %w", name, ErrCollision, err)
 }
 
 // Deferred wraps a carrier-sense deferral on resource name.
@@ -75,6 +79,57 @@ func Rejection(err error) *RejectedError {
 	var re *RejectedError
 	if errors.As(err, &re) {
 		return re
+	}
+	return nil
+}
+
+// ErrLost marks a message swallowed by the channel between a client and
+// a resource: a dropped request, a dropped reply, or a partitioned
+// link. The client cannot distinguish the three — all it observes is
+// that the operation never completed — which is exactly the paper's
+// untyped-failure regime. Substrates wrap it as a collision.
+var ErrLost = errors.New("lost: message dropped by channel")
+
+// IsLost reports whether err is or wraps ErrLost.
+func IsLost(err error) bool { return errors.Is(err, ErrLost) }
+
+// ErrStale marks an operation carrying a fencing epoch that the
+// resource has already moved past: a revoked-then-delayed holder
+// releasing units it no longer owns, or a duplicated grant arriving
+// after its successor. Fenced resources reject such operations instead
+// of applying them, which is what makes double-allocation impossible.
+var ErrStale = errors.New("stale: fencing epoch superseded")
+
+// StaleError carries the detail of a fencing rejection: which resource
+// fenced the operation, the epoch the operation carried, and the
+// resource's current fence (the highest epoch it has retired).
+type StaleError struct {
+	Resource string // the fenced resource ("fds", "reservation", ...)
+	Epoch    uint64 // epoch the rejected operation carried
+	Fence    uint64 // resource's fence: highest retired epoch (>= Epoch)
+}
+
+// Error implements the error interface.
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("%s: %v: epoch %d <= fence %d", e.Resource, ErrStale, e.Epoch, e.Fence)
+}
+
+// Is makes errors.Is(err, ErrStale) match a StaleError.
+func (e *StaleError) Is(target error) bool { return target == ErrStale }
+
+// Stale builds a typed fencing rejection on resource name.
+func Stale(name string, epoch, fence uint64) error {
+	return &StaleError{Resource: name, Epoch: epoch, Fence: fence}
+}
+
+// IsStale reports whether err is or wraps a fencing rejection.
+func IsStale(err error) bool { return errors.Is(err, ErrStale) }
+
+// Staleness extracts the typed fencing rejection from err's chain, or nil.
+func Staleness(err error) *StaleError {
+	var se *StaleError
+	if errors.As(err, &se) {
+		return se
 	}
 	return nil
 }

@@ -36,10 +36,21 @@ type Fault struct {
 	// its own. Only the lease watchdog (or the caller's own deadline)
 	// gets it moving again — the stuck-holder failure mode.
 	Hang bool
+	// Drop, when true, swallows the message at a channel site: the
+	// operation's effect is not applied (request drop) or its
+	// acknowledgement never arrives (reply drop), depending on which
+	// directional site was consulted. The observer sees only ErrLost.
+	Drop bool
+	// Dup, when true, delivers the message twice at a channel site: the
+	// operation's effect is applied a second time unless the receiver
+	// deduplicates (idempotency keys, fencing epochs).
+	Dup bool
 }
 
 // Zero reports whether the fault changes nothing.
-func (f Fault) Zero() bool { return f.Delay == 0 && f.Err == nil && !f.Hang }
+func (f Fault) Zero() bool {
+	return f.Delay == 0 && f.Err == nil && !f.Hang && !f.Drop && !f.Dup
+}
 
 // Injector decides the fate of operations at named sites. Site names
 // are constants exported by each substrate (condor.InjectConnect,

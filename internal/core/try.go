@@ -103,6 +103,12 @@ type TryConfig struct {
 	// paper's "fixed" client. It exists so the three disciplines share
 	// one code path; prefer Client for discipline selection.
 	NoBackoff bool
+	// Budget, when non-nil, rate-limits retries with a token bucket:
+	// each retry debits one token, and an empty bucket extends the
+	// backoff sleep until the next token accrues (trace trigger
+	// "budget"). Like Backoff it is a shared template, cloned per Try.
+	// Ignored under NoBackoff.
+	Budget *RetryBudget
 	// Trace, when non-nil, receives trace events mirroring the Observer
 	// stream plus probe/backoff intervals. Nil (the default) costs one
 	// pointer comparison per event site.
@@ -157,6 +163,13 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 		if bo.Rand == nil {
 			bo.Rand = rt.Rand
 		}
+	}
+	budget := cfg.Budget
+	if budget != nil {
+		// Clone for the same reason as Backoff: the config is a shared
+		// template and the bucket's cursor is per-Try state.
+		c := *budget
+		budget = &c
 	}
 
 	tryCtx := ctx
@@ -236,6 +249,13 @@ func Try(ctx context.Context, rt Runtime, lim Limit, cfg TryConfig, op Op) error
 		}
 		if !cfg.NoBackoff {
 			d := bo.Next()
+			if wait := budget.debit(rt.Now()); wait > d {
+				// The bucket is dry and the next token lands after the
+				// planned backoff would have ended: stretch the sleep to
+				// the token instead of retrying on schedule.
+				d = wait
+				trigger = "budget"
+			}
 			obs.Observe(EvBackoff, rt.Now(), nil)
 			tr.BackoffStart(d, trigger)
 			serr := rt.Sleep(tryCtx, d)

@@ -40,6 +40,13 @@ func chaosPlans(t *testing.T, seeds ...int64) []*chaos.Plan {
 			// reason: its stuck holders wedge the legacy cells by design.
 			continue
 		}
+		if name == "part-flap" || name == "dup-storm" {
+			// Covered by the channel-ablation sweep (net_test.go): these
+			// plans sever or scramble the lease control wires, so dropped
+			// releases pin descriptors as zombies by design — a regime the
+			// net cells provision for and the legacy geometry does not.
+			continue
+		}
 		for _, s := range seeds {
 			p, err := chaos.Preset(name, s)
 			if err != nil {

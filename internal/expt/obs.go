@@ -64,6 +64,12 @@ const (
 	MLeaseInUse        = "grid_lease_units_inuse"
 	MLeaseQueue        = "grid_lease_queue_depth"
 	MLeaseRevokedUnits = "grid_lease_revoked_units_total"
+	MLeaseDrops        = "grid_lease_msg_drops_total"
+	MLeaseDups         = "grid_lease_msg_dups_total"
+	MLeaseStales       = "grid_lease_stale_total"
+
+	MNetDrops   = "grid_net_drops_total"
+	MNetDeduped = "grid_net_deduped_total"
 
 	MBookReserves = "grid_book_reserves_total"
 	MBookRejects  = "grid_book_rejects_total"
@@ -151,6 +157,9 @@ func obsLease(sc *obs.Scope, m *lease.Manager, resource string) {
 		Timeouts:     sc.Counter(MLeaseTimeouts, "Waiters abandoned by cancellation.", "resource", resource),
 		Revokes:      sc.Counter(MLeaseRevokes, "Tenures reclaimed by the expiry watchdog.", "resource", resource),
 		RevokedUnits: sc.Counter(MLeaseRevokedUnits, "Units reclaimed by revocation (dead-window capacity).", "resource", resource),
+		Drops:        sc.Counter(MLeaseDrops, "Lease-control messages the channel dropped.", "resource", resource),
+		Dups:         sc.Counter(MLeaseDups, "Lease-control messages the channel duplicated.", "resource", resource),
+		Stales:       sc.Counter(MLeaseStales, "Stale-epoch messages the fence rejected.", "resource", resource),
 	})
 	sc.GaugeFunc(MLeaseInUse, "Units currently held.",
 		func() float64 { return float64(m.InUse()) }, "resource", resource)
@@ -193,6 +202,10 @@ func obsCluster(sc *obs.Scope, cl *condor.Cluster) {
 		func() float64 { return float64(cl.Schedd.Jobs) })
 	sc.GaugeFunc(MCrashes, "Schedd crashes.",
 		func() float64 { return float64(cl.Schedd.Crashes) })
+	sc.GaugeFunc(MNetDrops, "Submit requests or replies the channel swallowed.",
+		func() float64 { return float64(cl.Schedd.NetDrops) })
+	sc.GaugeFunc(MNetDeduped, "Duplicate submissions the idempotency keys absorbed.",
+		func() float64 { return float64(cl.Schedd.Deduped) })
 	obsLease(sc, fds.Manager(), "fds")
 }
 

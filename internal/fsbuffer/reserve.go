@@ -35,6 +35,12 @@ var ErrReservationDenied = errors.New("allocation denied: no reservable space")
 // lease watchdog reclaims it.
 const InjectHold = "fsbuffer/hold"
 
+// InjectNet is the injection site covering the channel to the
+// allocation service: reservation requests and lease-control messages
+// (release, renew) cross it, and may be dropped, duplicated, or
+// delayed (see lease.Manager.SetWire).
+const InjectNet = "fsbuffer/net"
+
 // Allocator is a NeST/SRM-style space reservation service in front of a
 // Buffer. Reservations are bookkeeping only; the underlying buffer is
 // unchanged, so reserving and non-reserving producers can be mixed.
@@ -50,8 +56,13 @@ type Allocator struct {
 	GrantTime time.Duration
 	lane      core.Resource
 
-	// Grants and Denials count allocator outcomes.
-	Grants, Denials int64
+	// Grants and Denials count allocator outcomes; NetDrops counts
+	// reservation requests the channel swallowed.
+	Grants, Denials, NetDrops int64
+
+	// unfenced disables epoch fencing on the tenure manager's wire —
+	// the FigNet ablation arm. Default false: fenced.
+	unfenced bool
 }
 
 // NewAllocator wraps buf with a reservation service.
@@ -74,8 +85,18 @@ func NewAllocator(e core.Backend, buf *Buffer, grantTime time.Duration) *Allocat
 func (a *Allocator) SetLeaseQuantum(d time.Duration) { a.tenure.SetQuantum(d) }
 
 // SetInjector installs a fault injector consulted at the allocator's
-// hold site. A nil injector (the default) disables injection.
-func (a *Allocator) SetInjector(inj core.Injector) { a.inj = inj }
+// hold site, and routes the tenure manager's lease-control messages
+// through it at InjectNet (fenced unless SetUnfenced). A nil injector
+// (the default) disables injection and removes the wire.
+func (a *Allocator) SetInjector(inj core.Injector) {
+	a.inj = inj
+	a.tenure.SetWire(inj, InjectNet, !a.unfenced)
+}
+
+// SetUnfenced disables epoch fencing on the allocator's lease wire —
+// the ablation arm that shows why fencing matters. Call before
+// SetInjector.
+func (a *Allocator) SetUnfenced(u bool) { a.unfenced = u }
 
 // Reserved reports bytes currently promised to clients.
 func (a *Allocator) Reserved() int64 { return a.tenure.InUse() }
@@ -111,6 +132,24 @@ func (a *Allocator) Reserve(p core.Proc, ctx context.Context, size int64) (*Rese
 // reserve is the admission path: serialize on the allocation service,
 // pay the round trip, then grant tenure on the promised bytes.
 func (a *Allocator) reserve(p core.Proc, ctx context.Context, size int64) (*Reservation, error) {
+	// Chaos seam: the request crosses the channel to the allocation
+	// service before anything else. A drop is indistinguishable from a
+	// slow server — the client pays the round trip and learns nothing.
+	if f := core.InjectAt(a.inj, InjectNet); !f.Zero() {
+		if f.Delay > 0 {
+			if err := p.Sleep(ctx, f.Delay); err != nil {
+				return nil, err
+			}
+		}
+		if f.Drop || f.Err != nil {
+			p.Tracer().MsgDrop("reservation")
+			a.NetDrops++
+			if err := p.Sleep(ctx, a.GrantTime); err != nil {
+				return nil, err
+			}
+			return nil, core.Collision("net", core.ErrLost)
+		}
+	}
 	if err := a.lane.Acquire(p, ctx); err != nil {
 		return nil, err
 	}

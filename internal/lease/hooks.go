@@ -15,6 +15,12 @@ type Hooks struct {
 	// reservation book's tenure manager this is exactly the dead-window
 	// capacity (booked but revoked units) the FigRes sweep measures.
 	RevokedUnits *obs.Counter
+	// Wire tallies (wire.go): control messages the unreliable channel
+	// swallowed or duplicated, and stale-epoch messages the fence
+	// rejected.
+	Drops  *obs.Counter
+	Dups   *obs.Counter
+	Stales *obs.Counter
 }
 
 // SetHooks installs observability counters mirroring the manager's
@@ -29,6 +35,9 @@ func (m *Manager) noteRevoke(units int64) {
 	m.hooks.Revokes.Inc()
 	m.hooks.RevokedUnits.Add(units)
 }
+func (m *Manager) noteDrop()  { m.Drops++; m.hooks.Drops.Inc() }
+func (m *Manager) noteDup()   { m.Dups++; m.hooks.Dups.Inc() }
+func (m *Manager) noteStale() { m.Stales++; m.hooks.Stales.Inc() }
 
 // BookHooks mirrors the Book's admission ledger into observability
 // counters; same nil-safety contract as Hooks.

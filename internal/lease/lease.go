@@ -46,11 +46,29 @@ type Manager struct {
 	waiters  []*waiter
 	hooks    Hooks
 
+	// wire, when non-nil, is the unreliable channel between holders and
+	// the manager: lease control messages (release, renew) may be
+	// dropped, duplicated, or delayed by the installed injector. See
+	// wire.go.
+	wire *wire
+	// nextEpoch mints monotone fencing epochs for grants; fence is the
+	// highest epoch the manager has retired (released or revoked).
+	nextEpoch uint64
+	fence     uint64
+	// outstanding is ground truth: units genuinely in use by live
+	// holders, maintained by lease lifecycle alone and immune to the
+	// bookkeeping (inUse) that a lossy wire can corrupt. The
+	// no-double-allocation invariant is outstanding <= capacity.
+	outstanding int64
+
 	// Stats, readable at any point under the engine token.
 	Acquires int64 // granted tenures (leased or raw)
 	Rejects  int64 // TryAcquire/TryTake failures
 	Timeouts int64 // waiters abandoned by cancellation
 	Revokes  int64 // tenures forcibly reclaimed by the watchdog
+	Drops    int64 // lease control messages swallowed by the wire
+	Dups     int64 // lease control messages duplicated by the wire
+	Stales   int64 // stale-epoch operations fenced off (fenced wire only)
 
 	clients map[string]*ClientStats
 	order   []string
@@ -232,6 +250,7 @@ func (m *Manager) MaxStarvation() time.Duration {
 func (m *Manager) TryTake(units int64) bool {
 	if m.inUse+units <= m.capacity {
 		m.inUse += units
+		m.outstanding += units
 		m.noteGrant()
 		return true
 	}
@@ -242,6 +261,7 @@ func (m *Manager) TryTake(units int64) bool {
 // Put returns units taken with TryTake. Returning more than was taken
 // panics: that is a simulation bug.
 func (m *Manager) Put(units int64) {
+	m.outstanding -= units
 	m.release(units)
 }
 
@@ -320,7 +340,15 @@ func (m *Manager) GrantFor(p core.Proc, ctx context.Context, holder string, unit
 // release returns units and grants them to queued waiters.
 func (m *Manager) release(units int64) {
 	if units > m.inUse {
-		panic("lease: release underflow on " + m.name)
+		if m.wire != nil && !m.wire.fenced {
+			// The unfenced arm's double-frees leave the books
+			// understated, so an honest release can find less booked
+			// than it returns. Clamp and keep running: the invariant
+			// checker, not a panic, reports the corruption.
+			units = m.inUse
+		} else {
+			panic("lease: release underflow on " + m.name)
+		}
 	}
 	m.inUse -= units
 	m.grantWaiters()
@@ -356,7 +384,9 @@ func (m *Manager) newLease(p core.Proc, ctx context.Context, holder string, unit
 // a tenure is given. The trace acquire event is emitted last so event
 // order matches the pre-lease code paths exactly.
 func (m *Manager) newLeaseFor(p core.Proc, ctx context.Context, holder string, units int64, quantum time.Duration) *Lease {
-	l := &Lease{m: m, holder: holder, units: units, parent: ctx, quantum: quantum}
+	m.nextEpoch++
+	m.outstanding += units
+	l := &Lease{m: m, holder: holder, units: units, parent: ctx, quantum: quantum, epoch: m.nextEpoch}
 	if p != nil {
 		l.tr = p.Tracer()
 	}
@@ -366,6 +396,9 @@ func (m *Manager) newLeaseFor(p core.Proc, ctx context.Context, holder string, u
 		l.timer = m.eng.Schedule(quantum, l.expire)
 	}
 	l.tr.Acquire(m.name, units)
+	if m.wire != nil {
+		m.wire.grant(l)
+	}
 	return l
 }
 
@@ -378,6 +411,7 @@ type Lease struct {
 	holder   string
 	units    int64
 	quantum  time.Duration // this lease's own tenure (renewal step)
+	epoch    uint64        // monotone fencing epoch minted at grant
 	tr       *trace.Client
 	parent   context.Context
 	ctx      context.Context
@@ -386,6 +420,19 @@ type Lease struct {
 	deadline time.Duration
 	done     bool
 	revoked  bool
+	ended    bool // outstanding units already returned (ground truth)
+	lost     bool // release message dropped: manager never heard the end
+	inFlight bool // release message delayed: delivery pending
+}
+
+// endOutstanding returns the lease's units to the ground-truth ledger
+// exactly once: at the holder-side end of the tenure (Release called,
+// or the watchdog's cancellation stopping the holder).
+func (l *Lease) endOutstanding() {
+	if !l.ended {
+		l.ended = true
+		l.m.outstanding -= l.units
+	}
 }
 
 // Ctx returns the context the holder must work under: canceled on
@@ -424,6 +471,12 @@ func (l *Lease) Renew() bool {
 // lease was still live. It is Renew with an explicit tenure: the
 // reservation book clamps renewals to the booked window's end, never
 // one whole quantum past it. d <= 0 leaves the deadline unchanged.
+//
+// With a wire installed the renewal message itself crosses the
+// unreliable channel: it may be dropped (the holder believes it
+// renewed; the watchdog fires on the old schedule) or delayed (the
+// extension lands late — or arrives after a revocation, where a fenced
+// manager rejects the stale epoch).
 func (l *Lease) RenewFor(d time.Duration) bool {
 	if l.done {
 		return false
@@ -431,26 +484,49 @@ func (l *Lease) RenewFor(d time.Duration) bool {
 	if l.timer == nil || d <= 0 {
 		return true
 	}
+	if w := l.m.wire; w != nil {
+		if w.renew(l, d) {
+			return true // the wire consumed (dropped/delayed) the message
+		}
+	}
+	l.extend(d)
+	return true
+}
+
+// extend applies a renewal: the watchdog is pushed to d from now.
+func (l *Lease) extend(d time.Duration) {
 	l.timer.Cancel()
 	l.deadline = l.m.eng.Elapsed() + d
 	l.timer = l.m.eng.Schedule(d, l.expire)
-	return true
 }
 
 // Release ends the tenure and returns the units. Releasing a revoked
 // or already-released lease is a no-op, so holders can defer Release
 // unconditionally.
+//
+// With a wire installed the release message crosses the unreliable
+// channel: it may be dropped (the units leak until the watchdog
+// reclaims them), delayed (a revocation can race the delivery), or
+// duplicated (a fenced manager rejects the second copy as stale; an
+// unfenced one double-frees — the double-allocation hazard).
 func (l *Lease) Release() {
 	if l.done {
 		return
 	}
 	l.done = true
+	l.endOutstanding() // the holder genuinely stops using the units now
+	if w := l.m.wire; w != nil {
+		if w.release(l) {
+			return // the wire consumed (dropped/delayed/duplicated) it
+		}
+	}
 	if l.timer != nil {
 		l.timer.Cancel()
 	}
 	if l.cancel != nil {
 		l.cancel()
 	}
+	l.m.retire(l.epoch)
 	l.m.release(l.units)
 	l.tr.Release(l.m.name, l.units)
 }
@@ -459,17 +535,36 @@ func (l *Lease) Release() {
 // Release, so the tenure is revoked. The lease context is canceled
 // first (waking a holder stuck mid-operation at this instant), then
 // the units go back to the pool for waiting competitors.
+//
+// When the holder's release was lost or is still in flight on the
+// wire, the manager never heard the tenure end — from its side this is
+// an ordinary expiry, and the watchdog is exactly the mechanism that
+// heals the leak.
 func (l *Lease) expire() {
 	if l.done {
+		if l.lost || l.inFlight {
+			// Reclaim a tenure whose release the manager never received.
+			// A delivery still in flight now races a completed
+			// revocation: the fence decides (see wire.deliverRelease).
+			l.lost = false
+			l.revoked = true
+			l.m.noteRevoke(l.units)
+			l.m.stats(l.holder).Revokes++
+			l.tr.Revoke(l.m.name, l.units)
+			l.m.retire(l.epoch)
+			l.m.release(l.units)
+		}
 		return
 	}
 	l.done = true
 	l.revoked = true
+	l.endOutstanding() // cancellation below forcibly stops the holder
 	l.m.noteRevoke(l.units)
 	l.m.stats(l.holder).Revokes++
 	l.tr.Revoke(l.m.name, l.units)
 	if l.cancel != nil {
 		l.cancel()
 	}
+	l.m.retire(l.epoch)
 	l.m.release(l.units)
 }

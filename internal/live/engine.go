@@ -25,6 +25,7 @@ package live
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,6 +53,7 @@ type Engine struct {
 	pendingProcs  []*pendingProc
 	pendingTimers []*timerNode
 	timers        map[*timerNode]struct{}
+	timerSeq      uint64
 
 	root       context.Context
 	rootCancel context.CancelFunc
@@ -176,9 +178,16 @@ func (e *Engine) launch(p *Proc, fn func(p core.Proc)) {
 
 // Schedule arranges fn to run at virtual time now+d under the engine
 // lock, returning a cancelable handle. Canceling under the lock is
-// race-free against the callback.
+// race-free against the callback. After the run has been shut down the
+// handle is inert: the shutdown drain has already fired everything that
+// was going to fire.
 func (e *Engine) Schedule(d time.Duration, fn func()) core.Timer {
-	n := &timerNode{eng: e, fn: fn, delay: e.toReal(d)}
+	n := &timerNode{eng: e, fn: fn, delay: e.toReal(d), seq: e.timerSeq}
+	e.timerSeq++
+	if e.closed {
+		n.stopped = true
+		return n
+	}
 	e.timers[n] = struct{}{}
 	if !e.started {
 		e.pendingTimers = append(e.pendingTimers, n)
@@ -189,10 +198,16 @@ func (e *Engine) Schedule(d time.Duration, fn func()) core.Timer {
 }
 
 // Run launches every pending process and timer, waits for all processes
-// (including ones spawned later) to return, then stops outstanding
-// timers. It always returns nil; a scenario that never unwinds blocks
-// here, so bound scenarios with context deadlines as the simulator's
-// callers already do.
+// (including ones spawned later) to return, then drains outstanding
+// timers: each pending callback fires exactly once, in deadline order,
+// before Run returns. The simulator runs its event queue to quiescence,
+// so a lease watchdog pending when the last process exits still fires
+// and reclaims the zombie's units; without the drain the live backend
+// would silently drop those timers and leak whatever bookkeeping they
+// were about to heal. Callbacks run under the engine lock; anything
+// they re-schedule lands after close and is inert. Run always returns
+// nil; a scenario that never unwinds blocks here, so bound scenarios
+// with context deadlines as the simulator's callers already do.
 func (e *Engine) Run() error {
 	e.mu.Lock()
 	if e.started {
@@ -215,12 +230,28 @@ func (e *Engine) Run() error {
 	e.wg.Wait()
 
 	e.mu.Lock()
-	e.closed = true
+	e.closed = true // re-scheduling from a drained callback is inert
+	drain := make([]*timerNode, 0, len(e.timers))
 	for n := range e.timers {
+		drain = append(drain, n)
+	}
+	sort.Slice(drain, func(i, j int) bool {
+		if !drain[i].deadline.Equal(drain[j].deadline) {
+			return drain[i].deadline.Before(drain[j].deadline)
+		}
+		return drain[i].seq < drain[j].seq
+	})
+	for _, n := range drain {
+		if n.stopped { // canceled by an earlier drained callback
+			continue
+		}
 		n.stopped = true
+		delete(e.timers, n)
 		if n.t != nil {
 			n.t.Stop()
 		}
+		e.events++
+		n.fn()
 	}
 	e.timers = nil
 	e.mu.Unlock()
@@ -236,16 +267,19 @@ func (e *Engine) Live() int { return e.liveN }
 // engine lock; the callback itself takes the lock before running, so a
 // cancellation observed there wins.
 type timerNode struct {
-	eng     *Engine
-	fn      func()
-	delay   time.Duration
-	t       *time.Timer
-	stopped bool
+	eng      *Engine
+	fn       func()
+	delay    time.Duration
+	deadline time.Time // when the armed timer is due (shutdown drain order)
+	seq      uint64
+	t        *time.Timer
+	stopped  bool
 }
 
 // arm starts the wall-clock timer. Engine lock held.
 func (n *timerNode) arm() {
 	e := n.eng
+	n.deadline = time.Now().Add(n.delay)
 	n.t = time.AfterFunc(n.delay, func() {
 		e.mu.Lock()
 		defer e.mu.Unlock()

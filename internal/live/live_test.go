@@ -238,3 +238,64 @@ func TestTryOnLiveBackend(t *testing.T) {
 		t.Fatalf("1-minute virtual try took %v real time: timescale not applied", real)
 	}
 }
+
+// dropOnce is a scripted injector for the shutdown-drain test: it drops
+// exactly one message, then reports a clean channel.
+type dropOnce struct{ armed bool }
+
+func (d *dropOnce) Inject(string) core.Fault {
+	if d.armed {
+		d.armed = false
+		return core.Fault{Drop: true}
+	}
+	return core.Fault{}
+}
+
+// TestShutdownDrainsPendingTimers: Run must fire outstanding timer
+// callbacks before returning, the way the simulator runs its event
+// queue to quiescence. The regression this pins: a lease release
+// dropped by the wire leaves a zombie booking whose only healer is the
+// watchdog timer — if shutdown silently discards that timer, the units
+// stay charged forever and every post-run inspection of the manager
+// sees leaked capacity.
+func TestShutdownDrainsPendingTimers(t *testing.T) {
+	e := New(1, ts)
+	m := lease.New(e, "res", 1, 10*time.Minute)
+	inj := &dropOnce{}
+	m.SetWire(inj, "wire", true)
+	var fired atomic.Bool
+	e.Schedule(time.Hour, func() { fired.Store(true) })
+	e.Spawn("holder", func(p core.Proc) {
+		l, err := m.Acquire(p, e.Context(), "holder", 1)
+		if err != nil {
+			t.Errorf("acquire: %v", err)
+			return
+		}
+		p.SleepFor(time.Minute)
+		inj.armed = true
+		l.Release() // dropped: the manager never hears the end
+		if m.InUse() != 1 {
+			t.Errorf("inUse = %d right after dropped release, want 1 (zombie)", m.InUse())
+		}
+		// Exit well before the 10-minute watchdog deadline: the reclaim
+		// timer is still pending when the last process unwinds.
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired.Load() {
+		t.Error("pending timer callback was dropped at shutdown, not drained")
+	}
+	if m.InUse() != 0 {
+		t.Errorf("inUse = %d after Run, want 0: the dropped release's watchdog never reclaimed", m.InUse())
+	}
+	if m.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after Run, want 0", m.Outstanding())
+	}
+	if m.Revokes != 1 {
+		t.Errorf("Revokes = %d, want 1 (the shutdown-drained watchdog)", m.Revokes)
+	}
+	if e.TimerHeapLen() != 0 {
+		t.Errorf("%d timers still pending after Run", e.TimerHeapLen())
+	}
+}

@@ -74,6 +74,13 @@ const (
 	// lane: an injected Hang wedges the client mid-transfer, the
 	// stuck-holder failure mode the lease watchdog exists for.
 	InjectHold = "replica/hold"
+	// InjectNet covers the channel between clients and a server's
+	// service lane: lease-control messages (release, renew) cross it
+	// and may be dropped, duplicated, or delayed (see
+	// lease.Manager.SetWire). A Drop at InjectFetch, in turn, loses the
+	// transfer's final acknowledgement: the bytes moved, the client
+	// cannot tell.
+	InjectNet = "replica/net"
 )
 
 // Server is one replica. A server is single-threaded: one client
@@ -87,10 +94,16 @@ type Server struct {
 
 	// Transfers counts completed payload downloads; Probes counts flag
 	// fetches served; Absorbed counts clients that entered the black
-	// hole and eventually gave up.
+	// hole and eventually gave up; NetDrops counts acknowledgements
+	// the channel swallowed after a completed transfer.
 	Transfers int64
 	Probes    int64
 	Absorbed  int64
+	NetDrops  int64
+
+	// unfenced disables epoch fencing on the lane's wire — the FigNet
+	// ablation arm. Default false: fenced.
+	unfenced bool
 }
 
 // NewServer creates a replica on engine e.
@@ -116,9 +129,19 @@ func (s *Server) Lane() *lease.Manager { return s.lane }
 // absorbed stay absorbed until their own timeouts free them.
 func (s *Server) SetBlackHole(sick bool) { s.BlackHole = sick }
 
-// SetInjector installs a fault injector consulted on every fetch. A nil
-// injector (the default) disables injection.
-func (s *Server) SetInjector(inj core.Injector) { s.inj = inj }
+// SetInjector installs a fault injector consulted on every fetch, and
+// routes the service lane's lease-control messages through it at
+// InjectNet (fenced unless SetUnfenced). A nil injector (the default)
+// disables injection and removes the wire.
+func (s *Server) SetInjector(inj core.Injector) {
+	s.inj = inj
+	s.lane.SetWire(inj, InjectNet, !s.unfenced)
+}
+
+// SetUnfenced disables epoch fencing on the server's lease wire — the
+// ablation arm that shows why fencing matters. Call before
+// SetInjector.
+func (s *Server) SetUnfenced(u bool) { s.unfenced = u }
 
 // QueueLen reports clients waiting for the server.
 func (s *Server) QueueLen() int { return s.lane.QueueLen() }
@@ -162,6 +185,17 @@ func (s *Server) fetch(p core.Proc, ctx context.Context, size int64) error {
 				return s.holdErr(ctx, l, err)
 			}
 			return core.Collision(s.Name, f.Err)
+		}
+		if f.Drop {
+			// The final acknowledgement is lost: every byte moved, but
+			// the client cannot distinguish this from a dead server. It
+			// pays the full transfer time and retries anyway.
+			if err := s.sleepRenewing(p, lctx, l, d); err != nil {
+				return s.holdErr(ctx, l, err)
+			}
+			p.Tracer().MsgDrop(s.Name)
+			s.NetDrops++
+			return core.Collision(s.Name, core.ErrLost)
 		}
 	}
 	return s.holdErr(ctx, l, s.sleepRenewing(p, lctx, l, d))

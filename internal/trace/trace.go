@@ -63,6 +63,13 @@ const (
 	KAdmit
 	KReject
 	KForfeit
+	// Unreliable-channel kinds. MsgDrop records a control message the
+	// channel swallowed; MsgDup records one it duplicated; Stale records
+	// a stale-epoch message a fenced resource rejected (Arg = units the
+	// rejected message covered).
+	KMsgDrop
+	KMsgDup
+	KStale
 )
 
 // String names the kind as it appears in exported traces.
@@ -108,6 +115,12 @@ func (k Kind) String() string {
 		return "reject"
 	case KForfeit:
 		return "forfeit"
+	case KMsgDrop:
+		return "msg-drop"
+	case KMsgDup:
+		return "msg-dup"
+	case KStale:
+		return "stale"
 	default:
 		return "unknown"
 	}
@@ -421,6 +434,31 @@ func (c *Client) FaultInjected(site string) {
 		return
 	}
 	c.emit(KFaultInjected, site, 0)
+}
+
+// MsgDrop records a control message to res swallowed by the channel.
+func (c *Client) MsgDrop(res string) {
+	if c == nil {
+		return
+	}
+	c.emit(KMsgDrop, res, 0)
+}
+
+// MsgDup records a control message to res duplicated by the channel.
+func (c *Client) MsgDup(res string) {
+	if c == nil {
+		return
+	}
+	c.emit(KMsgDup, res, 0)
+}
+
+// Stale records a stale-epoch message covering n units that a fenced
+// resource rejected.
+func (c *Client) Stale(res string, n int64) {
+	if c == nil {
+		return
+	}
+	c.emit(KStale, res, n)
 }
 
 // SpanBegin opens a named hierarchical span and returns its id. Spans

@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke scale-smoke golden ci
 
 all: build
 
@@ -45,6 +45,7 @@ fuzz-smoke:
 	$(GO) test -run FuzzLex -fuzz FuzzLex -fuzztime $(FUZZTIME) ./internal/ftsh/lexer
 	$(GO) test -run FuzzParse -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ftsh/parser
 	$(GO) test -run FuzzInterp -fuzz FuzzInterp -fuzztime $(FUZZTIME) ./internal/ftsh/interp
+	$(GO) test -run FuzzTimerWheel -fuzz FuzzTimerWheel -fuzztime $(FUZZTIME) ./internal/sim
 
 # Differential sim-vs-live validation: every scenario's ordering claims
 # (Ethernet >= Aloha >= Fixed, carrier floor, lease no-starvation) and
@@ -82,8 +83,18 @@ net-smoke:
 	$(GO) test -race ./internal/expt -run 'TestNetCell|TestNetNoDoubleAlloc|TestTypedErrorAudit' -count=1
 	$(GO) test ./cmd/gridbench -run TestGoldenFigNetTable -count=1
 
+# Million-client engine gate: the timer-wheel-vs-reference differential
+# suite and the shard-invariance proof under the race detector, the
+# scale figure's determinism/wheel-health smoke, and a reduced (10k
+# client) scale sweep through the real CLI — including the sharded run,
+# which must reproduce the identical golden byte for byte.
+scale-smoke:
+	$(GO) test -race ./internal/sim -run 'TestWheelDifferential|TestWheelLongHorizon|TestShardCountInvariance|TestRunQueueMaskWraparound|TestProcArenaRecycling' -count=1
+	$(GO) test -race ./internal/expt -run 'TestFigScale|TestScaleWheel' -count=1
+	$(GO) test -race ./cmd/gridbench -run 'TestGoldenFigScale' -count=1
+
 # Rewrite the gridbench golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke scale-smoke

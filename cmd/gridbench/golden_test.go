@@ -10,12 +10,13 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files from current output")
 
-// stripTiming drops the "# generated in ..." comment lines, the only
-// legitimately nondeterministic part of gridbench output.
+// stripTiming drops the "# generated in ..." and "# timing: ..."
+// comment lines, the only legitimately nondeterministic parts of
+// gridbench output (wall-clock measurements).
 func stripTiming(s string) string {
 	var keep []string
 	for _, line := range strings.Split(s, "\n") {
-		if !strings.HasPrefix(line, "# generated in") {
+		if !strings.HasPrefix(line, "# generated in") && !strings.HasPrefix(line, "# timing:") {
 			keep = append(keep, line)
 		}
 	}
@@ -70,6 +71,15 @@ func TestGoldenFigResTable(t *testing.T) {
 }
 func TestGoldenFigNetTable(t *testing.T) {
 	golden(t, "fignet_table", "-fig", "net", "-scale", "0.1")
+}
+func TestGoldenFigScaleTable(t *testing.T) {
+	golden(t, "figscale_table", "-fig", "scale", "-scale", "0.01")
+}
+
+// TestGoldenFigScaleSharded pins the sharding acceptance at the CLI
+// level: -shards must not change a single data byte of the figure.
+func TestGoldenFigScaleSharded(t *testing.T) {
+	golden(t, "figscale_table", "-fig", "scale", "-scale", "0.01", "-shards", "8")
 }
 
 func TestDeterministicWithChaos(t *testing.T) {

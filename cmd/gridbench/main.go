@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	gridbench [-fig N|la|res|net] [-seed S] [-scale F] [-format table|tsv]
+//	gridbench [-fig N|la|res|net|scale] [-seed S] [-scale F] [-format table|tsv]
 //	          [-backend sim|live] [-timescale F]
-//	          [-parallel N] [-chaos PLAN] [-chaos-seed S] [-check]
+//	          [-parallel N] [-shards N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
 //	          [-trace-quantiles] [-metrics FILE] [-metrics-interval D]
 //	          [-metrics-format jsonl|csv|prom] [-obs-addr ADDR] [-progress]
@@ -27,7 +27,15 @@
 // a lossy, duplicating, partitioning network, with the survival
 // mechanisms (fencing epochs, idempotency keys, retry budgets) armed
 // and ablated under the dup-storm and part-flap plans (see
-// internal/lease SetWire and internal/expt.FigNet).
+// internal/lease SetWire and internal/expt.FigNet). Figure "scale" is
+// the million-client engine sweep: 10k/100k/1M lightweight Ethernet
+// clients driven entirely by engine timers (see internal/expt.FigScale),
+// whose deterministic table is followed by per-cell "# timing:" lines
+// reporting wall-clock and events/sec — the engine-throughput numbers
+// BENCH_expt.json records. It is sim-only and excluded from the
+// default all-figures run (the 1M cell is a benchmark, not a figure of
+// the paper); -shards runs its cells on the engine's sharded scheduling
+// mode (power of two; output is byte-identical at any value).
 //
 // -chaos regenerates the figures under a named fault-injection plan
 // (see internal/chaos; plans: bursts, crashes, dup-storm, flap,
@@ -102,7 +110,7 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "", "figure to regenerate (1-7, la, res, or net); empty means all")
+	fig := fs.String("fig", "", "figure to regenerate (1-7, la, res, net, or scale); empty means all paper figures")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
 	format := fs.String("format", "table", "output format: table or tsv")
@@ -121,6 +129,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	obsAddr := fs.String("obs-addr", "", "live backend only: serve /metrics, /healthz, and pprof on this address during the run")
 	progress := fs.Bool("progress", false, "print one-line sweep progress to stderr about once a second")
 	parallel := fs.Int("parallel", 0, "worker count for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
+	shards := fs.Int("shards", 0, "engine scheduling shards for the scale figure (power of two; 0 or 1 = unsharded)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(argv); err != nil {
@@ -145,6 +154,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel < 0 {
 		fmt.Fprintf(stderr, "gridbench: negative parallel %d (want 0 for GOMAXPROCS, or a worker count)\n", *parallel)
+		return 2
+	}
+	if *shards < 0 || (*shards > 1 && *shards&(*shards-1) != 0) {
+		fmt.Fprintf(stderr, "gridbench: invalid shards %d (want a power of two, or 0 for unsharded)\n", *shards)
+		return 2
+	}
+	if *fig == "scale" && *backend == expt.BackendLive {
+		fmt.Fprintf(stderr, "gridbench: -fig scale is sim-only (a million wall-clock timers is a load test, not a measurement)\n")
 		return 2
 	}
 	if *metricsFormat != "jsonl" && *metricsFormat != "csv" && *metricsFormat != "prom" {
@@ -192,7 +209,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Backend: *backend, Timescale: *timescale}
+	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Shards: *shards, Backend: *backend, Timescale: *timescale}
 	if *metricsOut != "" || *obsAddr != "" || *progress {
 		// -progress needs the recorder too: the events/sec column comes
 		// from the engine event counters it samples.
@@ -232,10 +249,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la", "res", "net"}
 	if *fig != "" {
 		switch *fig {
-		case "1", "2", "3", "4", "5", "6", "7", "la", "res", "net":
+		case "1", "2", "3", "4", "5", "6", "7", "la", "res", "net", "scale":
 			figs = []string{*fig}
 		default:
-			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation, \"net\" the unreliable-channel ablation)\n", *fig)
+			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation, \"net\" the unreliable-channel ablation, \"scale\" the million-client engine sweep)\n", *fig)
 			return 2
 		}
 	}
@@ -312,6 +329,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			r.dump(na.Integrity)
 			fmt.Fprintf(r.w, "# channel: submit-path request drops, lease-wire drops/dups, watchdog revocations (fenced arms)\n")
 			r.dump(na.Channel)
+		case "scale":
+			r.header("SCALE", "Million-Client Engine Sweep", "lightweight Ethernet clients on shared carrier, 60 virtual seconds, engine-throughput benchmark")
+			sc := expt.FigScale(opt)
+			r.dump(sc.Table)
+			for _, c := range sc.Cells {
+				fmt.Fprintf(r.w, "# timing: n=%d wall=%v events/s=%.0f\n",
+					c.Clients, c.Wall.Round(time.Millisecond), c.EventsPerSec())
+			}
 		}
 		// Single-discipline figures: re-run the other disciplines into
 		// the same trace so the summary compares all three on one seed.

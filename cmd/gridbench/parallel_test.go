@@ -9,7 +9,7 @@ import (
 )
 
 // figsAll lists every figure the CLI can regenerate.
-var figsAll = []string{"1", "2", "3", "4", "5", "6", "7", "la", "res", "net"}
+var figsAll = []string{"1", "2", "3", "4", "5", "6", "7", "la", "res", "net", "scale"}
 
 // TestParallelDeterminism is the acceptance check for the parallel
 // sweep runner: for every figure and three distinct seeds, the full

@@ -42,6 +42,10 @@ const (
 	MEngineTimers  = "grid_engine_timer_heap"
 	MEngineCompact = "grid_engine_compactions_total"
 
+	MWheelCascades = "grid_engine_wheel_cascades_total"
+	MWheelMaxSlot  = "grid_engine_wheel_slot_max"
+	MWheelOverflow = "grid_engine_wheel_overflow"
+
 	MCarrierOccupancy = "grid_carrier_occupancy"
 	MCarrierInUse     = "grid_carrier_inuse"
 	MCarrierQueue     = "grid_carrier_queue_depth"
@@ -108,6 +112,14 @@ type engineObserver interface {
 	Compactions() int64
 }
 
+// wheelObserver is the sim engine's hierarchical-timer-wheel health
+// surface; the live backend has no wheel and simply lacks it.
+type wheelObserver interface {
+	WheelCascades() int64
+	MaxSlotOccupancy() int
+	TimerOverflowLen() int
+}
+
 // armObs builds a cell's instrumentation scope — the engine gauges
 // plus whatever scenario gauges inst registers — and schedules the
 // periodic sampler on the backend clock for the window. The returned
@@ -132,6 +144,14 @@ func armObs(opt Options, e core.Backend, window time.Duration, cell string, inst
 			func() float64 { return float64(eo.TimerHeapLen()) })
 		sc.GaugeFunc(MEngineCompact, "Canceled-timer heap compactions performed.",
 			func() float64 { return float64(eo.Compactions()) })
+	}
+	if wo, ok := e.(wheelObserver); ok {
+		sc.GaugeFunc(MWheelCascades, "Timer nodes re-dispersed by wheel level cascades.",
+			func() float64 { return float64(wo.WheelCascades()) })
+		sc.GaugeFunc(MWheelMaxSlot, "High-water mark of timers sharing one wheel slot.",
+			func() float64 { return float64(wo.MaxSlotOccupancy()) })
+		sc.GaugeFunc(MWheelOverflow, "Timers parked beyond the wheel horizon.",
+			func() float64 { return float64(wo.TimerOverflowLen()) })
 	}
 	if inst != nil {
 		inst(sc)

@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFigScaleDeterministicAcrossShards is the scale figure's smoke
+// acceptance: the deterministic columns must be identical run-to-run
+// and at every shard count — sharding is an engine-internal structure
+// choice, never a semantic one.
+func TestFigScaleDeterministicAcrossShards(t *testing.T) {
+	opt := Options{Seed: 1, Scale: 0.001} // 10/100/1000-client cells
+	base := FigScale(opt)
+	if got := FigScale(opt); !reflect.DeepEqual(base.Table, got.Table) {
+		t.Fatal("same seed produced different scale tables")
+	}
+	for _, shards := range []int{2, 8} {
+		sopt := opt
+		sopt.Shards = shards
+		if got := FigScale(sopt); !reflect.DeepEqual(base.Table, got.Table) {
+			t.Fatalf("shards=%d changed the scale table", shards)
+		}
+	}
+	// Sanity: the biggest cell did real work.
+	last := base.Cells[len(base.Cells)-1]
+	if last.Clients != 1000 || last.Events == 0 || last.Attempts == 0 {
+		t.Fatalf("smoke cell degenerate: %+v", last)
+	}
+}
+
+// TestScaleWheelHealthExported asserts the wheel-health gauges carry
+// real data through the flight recorder on a scale cell: cascades and
+// slot occupancy must be nonzero (the sweep's 10s think timers live a
+// level up and must cascade down), and the beyond-horizon watchdog
+// must appear in the overflow gauge's samples.
+func TestScaleWheelHealthExported(t *testing.T) {
+	reg := obs.New()
+	opt := Options{Seed: 1, Scale: 0.01, Obs: reg}
+	r := ScaleCell(opt, 1, 1000)
+	if r.Events == 0 {
+		t.Fatal("cell ran no events")
+	}
+	if v := reg.CurrentTotal(MWheelCascades); v <= 0 {
+		t.Errorf("%s = %v, want > 0", MWheelCascades, v)
+	}
+	if v := reg.CurrentTotal(MWheelMaxSlot); v <= 0 {
+		t.Errorf("%s = %v, want > 0", MWheelMaxSlot, v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	maxPoint := map[string]float64{}
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Family string      `json:"family"`
+			Points [][]float64 `json:"points"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad JSONL line: %v\n%s", err, line)
+		}
+		for _, p := range rec.Points {
+			if len(p) == 2 && p[1] > maxPoint[rec.Family] {
+				maxPoint[rec.Family] = p[1]
+			}
+		}
+	}
+	for _, fam := range []string{MWheelCascades, MWheelMaxSlot, MWheelOverflow} {
+		if maxPoint[fam] <= 0 {
+			t.Errorf("family %s never sampled a nonzero value", fam)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"context"
-	"sort"
 	"time"
 )
 
@@ -15,24 +14,46 @@ import (
 // the parent's Err is checked when the child is created, but later
 // foreign cancellations are not observed, because watching them would
 // require a real goroutine and real time.
+//
+// The type is tuned for the timeout-per-attempt pattern, where a
+// context lives for one guarded call and is discarded: the done channel
+// is materialized only if someone asks for it, and children and hooks
+// live in slices backed by small inline arrays, so the typical
+// WithTimeout/Sleep/cancel cycle costs two allocations total (the Ctx
+// and the CancelFunc closure).
 type Ctx struct {
 	eng      *Engine
 	parent   context.Context
-	done     chan struct{}
+	done     chan struct{} // lazily created by Done
 	err      error
-	deadline time.Duration // virtual; valid if hasDeadline
+	deadline time.Duration // virtual; valid if hasDL
 	hasDL    bool
 	timer    Timer
-	children map[*Ctx]int // value: registration order
-	childSeq int
-	hooks    map[int]func(error)
+
+	children []*Ctx // registration order; backed by childArr while small
+	hooks    []ctxHook
 	hookSeq  int
+	childArr [2]*Ctx
+	hookArr  [2]ctxHook
+}
+
+// ctxHook is a cancellation hook with its registration id, used to
+// deregister without a per-registration closure.
+type ctxHook struct {
+	id int
+	fn func(error)
 }
 
 var _ context.Context = (*Ctx)(nil)
 
+// closedchan is the shared pre-closed channel Done returns for contexts
+// already canceled before anyone asked.
+var closedchan = make(chan struct{})
+
+func init() { close(closedchan) }
+
 func newCtx(e *Engine, parent context.Context) *Ctx {
-	return &Ctx{eng: e, parent: parent, done: make(chan struct{})}
+	return &Ctx{eng: e, parent: parent}
 }
 
 // Deadline reports the virtual deadline, converted to absolute time.
@@ -43,8 +64,18 @@ func (c *Ctx) Deadline() (time.Time, bool) {
 	return Epoch.Add(c.deadline), true
 }
 
-// Done returns a channel closed when the context is canceled.
-func (c *Ctx) Done() <-chan struct{} { return c.done }
+// Done returns a channel closed when the context is canceled. The
+// channel is created on first call (engine token), so contexts watched
+// only via Err and hooks never allocate one.
+func (c *Ctx) Done() <-chan struct{} {
+	if c.done == nil {
+		if c.err != nil {
+			return closedchan
+		}
+		c.done = make(chan struct{})
+	}
+	return c.done
+}
 
 // Err reports nil until the context is canceled, then the cause.
 func (c *Ctx) Err() error { return c.err }
@@ -58,94 +89,80 @@ func (c *Ctx) Value(key any) any {
 }
 
 // cancel marks the context done with cause err, fires hooks, and cascades
-// to children. Must run under the engine token.
+// to children, both in registration order (wakeup order is part of the
+// deterministic event sequence). Must run under the engine token.
 func (c *Ctx) cancel(err error) {
 	if c.err != nil {
 		return
 	}
 	c.err = err
-	close(c.done)
+	if c.done != nil {
+		close(c.done)
+	}
 	c.timer.Cancel()
 	c.timer = Timer{}
-	for _, h := range sortedHooks(c.hooks) {
-		h(err)
-	}
+	hooks := c.hooks
 	c.hooks = nil
-	for _, child := range sortedChildren(c.children) {
+	for i := range hooks {
+		hooks[i].fn(err)
+	}
+	children := c.children
+	c.children = nil
+	for _, child := range children {
 		child.cancel(err)
 	}
-	c.children = nil
-	if pc, ok := c.parent.(*Ctx); ok && pc.children != nil {
-		delete(pc.children, c)
+	if pc, ok := c.parent.(*Ctx); ok {
+		pc.removeChild(c)
 	}
 }
 
-// sortedHooks returns cancellation hooks in registration order so wakeups
-// are deterministic regardless of map iteration order.
-func sortedHooks(m map[int]func(error)) []func(error) {
-	if len(m) == 0 {
-		return nil
-	}
-	maxKey := -1
-	for k := range m {
-		if k > maxKey {
-			maxKey = k
+// removeChild unregisters a canceled child, preserving order.
+func (c *Ctx) removeChild(child *Ctx) {
+	for i, cc := range c.children {
+		if cc == child {
+			copy(c.children[i:], c.children[i+1:])
+			c.children[len(c.children)-1] = nil
+			c.children = c.children[:len(c.children)-1]
+			return
 		}
 	}
-	out := make([]func(error), 0, len(m))
-	for k := 0; k <= maxKey; k++ {
-		if h, ok := m[k]; ok {
-			out = append(out, h)
-		}
-	}
-	return out
 }
 
-// sortedChildren returns child contexts in registration order, so a
-// cascading cancellation wakes processes deterministically instead of
-// in map iteration order. (Trace determinism depends on this: the
-// unwind events at a shared window deadline must interleave the same
-// way in every run.)
-func sortedChildren(m map[*Ctx]int) []*Ctx {
-	if len(m) == 0 {
-		return nil
-	}
-	type entry struct {
-		c   *Ctx
-		seq int
-	}
-	out := make([]entry, 0, len(m))
-	for c, seq := range m {
-		out = append(out, entry{c, seq})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
-	cs := make([]*Ctx, len(out))
-	for i, e := range out {
-		cs[i] = e.c
-	}
-	return cs
-}
-
-// onCancel registers fn to run when the context is canceled and returns a
-// deregistration function. The caller must have checked Err beforehand.
-func (c *Ctx) onCancel(fn func(error)) func() {
+// onCancel registers fn to run when the context is canceled, returning
+// an id for removeHook. The caller must have checked Err beforehand.
+func (c *Ctx) onCancel(fn func(error)) int {
 	if c.hooks == nil {
-		c.hooks = make(map[int]func(error))
+		c.hooks = c.hookArr[:0]
 	}
 	id := c.hookSeq
 	c.hookSeq++
-	c.hooks[id] = fn
-	return func() { delete(c.hooks, id) }
+	c.hooks = append(c.hooks, ctxHook{id: id, fn: fn})
+	return id
 }
 
-// onCancelCtx registers fn on ctx if it is a simulation context; for
-// foreign contexts it returns a no-op deregistration, since foreign
-// cancellation cannot be observed without real concurrency.
-func onCancelCtx(ctx context.Context, fn func(error)) func() {
-	if sc, ok := ctx.(*Ctx); ok {
-		return sc.onCancel(fn)
+// removeHook deregisters a hook by id; unknown ids (hooks consumed by a
+// cancellation) are ignored.
+func (c *Ctx) removeHook(id int) {
+	for i := range c.hooks {
+		if c.hooks[i].id == id {
+			copy(c.hooks[i:], c.hooks[i+1:])
+			c.hooks[len(c.hooks)-1] = ctxHook{}
+			c.hooks = c.hooks[:len(c.hooks)-1]
+			return
+		}
 	}
-	return func() {}
+}
+
+// onCancelID registers fn on ctx if it is a simulation context,
+// returning the hook id and the context to deregister from. For foreign
+// contexts it returns a nil context — there is nothing to deregister,
+// since foreign cancellation cannot be observed without real
+// concurrency.
+func onCancelID(ctx context.Context, fn func(error)) (int, *Ctx) {
+	if sc, ok := ctx.(*Ctx); ok {
+		return sc.onCancel(fn), sc
+	}
+	return 0, nil
 }
 
 // WithCancel derives a child context canceled either explicitly or when
@@ -158,15 +175,16 @@ func (e *Engine) WithCancel(parent context.Context) (context.Context, context.Ca
 	}
 	if pc, ok := parent.(*Ctx); ok {
 		if pc.children == nil {
-			pc.children = make(map[*Ctx]int)
+			pc.children = pc.childArr[:0]
 		}
-		pc.children[child] = pc.childSeq
-		pc.childSeq++
+		pc.children = append(pc.children, child)
 	}
 	return child, func() { child.cancel(context.Canceled) }
 }
 
 // WithTimeout derives a child context canceled after d of virtual time.
+// The deadline is armed through the zero-closure ScheduleArg path with
+// a shared package-level callback.
 func (e *Engine) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
 	ctx, cancel := e.WithCancel(parent)
 	child := ctx.(*Ctx)
@@ -180,8 +198,12 @@ func (e *Engine) WithTimeout(parent context.Context, d time.Duration) (context.C
 			child.deadline = pv
 		}
 	}
-	child.timer = e.Schedule(child.deadline-e.now, func() {
-		child.cancel(context.DeadlineExceeded)
-	})
+	child.timer = e.ScheduleArg(child.deadline-e.now, ctxDeadlineFire, child)
 	return child, cancel
+}
+
+// ctxDeadlineFire is the shared deadline callback for every WithTimeout
+// context; the context itself rides in the timer's arg slot.
+func ctxDeadlineFire(arg any) {
+	arg.(*Ctx).cancel(context.DeadlineExceeded)
 }

@@ -10,21 +10,25 @@
 //
 // The package exists so that the retry/backoff logic in internal/core can
 // be exercised over hours of virtual time in milliseconds of real time,
-// with hundreds of concurrent clients, exactly as the paper's experiments
-// require. A real-time adapter in internal/core runs the same logic
-// against the wall clock.
+// with up to a million concurrent clients, exactly as the paper's
+// experiments require. A real-time adapter in internal/core runs the same
+// logic against the wall clock.
 //
-// The scheduler's two hot structures are tuned for sweep workloads
-// (internal/expt runs thousands of cells, each millions of steps): the
-// run queue is a ring buffer with an O(1) pop, and timers come from a
-// free list with generation-checked handles, so the schedule/cancel
-// churn of timeout-guarded work neither allocates per operation nor
-// grows the timer heap without bound (dead entries are compacted away
-// once they are the majority).
+// The scheduler's hot structures are tuned for sweep workloads
+// (internal/expt runs thousands of cells, each millions of steps), and
+// in particular for the schedule-then-cancel churn of backoff machines:
+// timers live in a hierarchical timer wheel (see wheel.go) with O(1)
+// insert and O(1) cancel, nodes come from a block arena with
+// generation-checked handles, processes are recycled through an arena of
+// their own, and the run queue is a power-of-two ring with mask indexing.
+// None of it allocates per operation in steady state.
+//
+// SetShards optionally partitions the timer and run structures; the
+// shard merge reconstructs the exact global order, so sharded runs are
+// byte-identical to unsharded ones (see Run).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -37,27 +41,42 @@ import (
 // same origin and traces are directly comparable.
 var Epoch = core.Epoch
 
+// shard is one partition of the engine's scheduling state: a timer
+// queue (wheel + near heap) and a run-queue ring. An unsharded engine
+// is simply an engine with one shard.
+type shard struct {
+	q      timerQueue
+	runq   []*Proc // power-of-two ring of runnable processes
+	rqHead int     // index of the front of the ring
+	rqLen  int     // live entries in the ring
+}
+
 // Engine is a single-threaded discrete-event simulator. Create one with
 // New, add processes with Spawn, then call Run. Engine methods must only
 // be called either before Run starts, from inside a process, or from a
 // timer callback; they are not safe for use from arbitrary goroutines.
 type Engine struct {
 	now    time.Duration // virtual time since Epoch
-	seq    int64         // tie-breaker for timers scheduled at the same instant
-	timers timerHeap
-	dead   int          // canceled timers still sitting in the heap
-	free   []*timerNode // recycled timer nodes
-	runq   []*Proc      // ring buffer of runnable processes
-	rqHead int          // index of the front of the ring
-	rqLen  int          // live entries in the ring
-	live   int          // processes that have not exited
+	seq    int64         // global tie-breaker for timers at the same instant
+	runSeq int64         // global FIFO order of run-queue admissions
+
+	shards     []shard
+	schedShard int // shard context of the currently running proc/timer
+	runnable   int // total runnable processes across shards
+	live       int // processes that have not exited
+
+	// Process arena: Proc records are minted in blocks (dense, indexable
+	// by id) and recycled through a free list when they exit, so churny
+	// workloads reuse records and their resume channels.
+	procBlocks [][]Proc
+	procFree   []*Proc
+	nextProcID int32
 
 	yielded chan struct{} // process -> engine token handoff
 	current *Proc
 
-	rng         *rand.Rand
-	events      int64
-	compactions int64 // canceled-timer heap compactions performed
+	rng    *rand.Rand
+	events int64
 	// MaxEvents bounds the total number of scheduling steps as a guard
 	// against accidental infinite simulations. Zero means the default.
 	MaxEvents int64
@@ -71,12 +90,32 @@ const defaultMaxEvents = 200_000_000
 // Identical seeds yield identical simulations.
 func New(seed int64) *Engine {
 	e := &Engine{
+		shards:  make([]shard, 1),
 		yielded: make(chan struct{}),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 	e.root = newCtx(e, nil)
 	return e
 }
+
+// SetShards partitions the engine's timers and runnables across n
+// scheduling shards (n must be a power of two; 1 restores the default).
+// It may only be called on a fresh engine, before anything is scheduled.
+// Sharding is an internal-structure option only: the merge at shard
+// boundaries reconstructs the exact global (deadline, seq) order, so a
+// sharded run is byte-identical to an unsharded one on the same seed.
+func (e *Engine) SetShards(n int) {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("sim: SetShards(%d): shard count must be a power of two >= 1", n))
+	}
+	if e.seq != 0 || e.runSeq != 0 || e.events != 0 || e.live != 0 || e.runnable != 0 {
+		panic("sim: SetShards on a used engine")
+	}
+	e.shards = make([]shard, n)
+}
+
+// Shards reports the engine's shard count (1 unless SetShards raised it).
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() time.Time { return Epoch.Add(e.now) }
@@ -90,15 +129,64 @@ func (e *Engine) Events() int64 { return e.events }
 
 // RunQueueLen reports the number of currently runnable processes
 // (observability; must be called under the engine token).
-func (e *Engine) RunQueueLen() int { return e.rqLen }
+func (e *Engine) RunQueueLen() int { return e.runnable }
 
-// TimerHeapLen reports the number of heap entries, including canceled
-// entries not yet compacted away (observability; engine token).
-func (e *Engine) TimerHeapLen() int { return e.timers.Len() }
+// TimerHeapLen reports the number of pending timer entries across all
+// shards — wheel, overflow, and near-heap nodes, including canceled
+// near entries not yet compacted away (observability; engine token).
+func (e *Engine) TimerHeapLen() int {
+	n := 0
+	for i := range e.shards {
+		n += e.shards[i].q.pending()
+	}
+	return n
+}
 
-// Compactions reports how many canceled-timer heap compactions the
+// Compactions reports how many canceled-timer near-heap compactions the
 // engine has performed (observability; engine token).
-func (e *Engine) Compactions() int64 { return e.compactions }
+func (e *Engine) Compactions() int64 {
+	var n int64
+	for i := range e.shards {
+		n += e.shards[i].q.compactions
+	}
+	return n
+}
+
+// WheelCascades reports how many timer nodes level cascades have
+// re-dispersed toward shallower wheel levels (observability; engine
+// token). A zero value on a long run means every timer fit the innermost
+// level — the wheel was effectively a flat calendar.
+func (e *Engine) WheelCascades() int64 {
+	var n int64
+	for i := range e.shards {
+		n += e.shards[i].q.cascades
+	}
+	return n
+}
+
+// MaxSlotOccupancy reports the high-water mark of timer nodes sharing a
+// single wheel slot, across all shards (observability; engine token).
+// It bounds the worst-case burst a single slot drain hands the near heap.
+func (e *Engine) MaxSlotOccupancy() int {
+	var m int32
+	for i := range e.shards {
+		if c := e.shards[i].q.maxSlot; c > m {
+			m = c
+		}
+	}
+	return int(m)
+}
+
+// TimerOverflowLen reports the number of timers currently parked beyond
+// the wheel horizon (~52 virtual days), across all shards
+// (observability; engine token).
+func (e *Engine) TimerOverflowLen() int {
+	n := 0
+	for i := range e.shards {
+		n += e.shards[i].q.overflowLen
+	}
+	return n
+}
 
 // Rand returns the engine's deterministic random source. It must only be
 // used under the engine token (from processes or timer callbacks).
@@ -108,37 +196,114 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // explicitly requested, e.g. to shut down an experiment window.
 func (e *Engine) Context() *Ctx { return e.root }
 
-// pushRun appends a process to the back of the run-queue ring, growing
-// the ring when full.
+// pushRun appends a process to the back of its shard's run-queue ring,
+// growing the ring when full. Rings are power-of-two sized so the ring
+// walk is a mask, not a division. The global admission order is stamped
+// on the process, which is what lets a sharded engine reconstruct the
+// exact unsharded FIFO at pop time.
 func (e *Engine) pushRun(p *Proc) {
-	if e.rqLen == len(e.runq) {
-		grown := make([]*Proc, max(16, 2*len(e.runq)))
-		for i := 0; i < e.rqLen; i++ {
-			grown[i] = e.runq[(e.rqHead+i)%len(e.runq)]
+	s := &e.shards[p.shard]
+	if s.rqLen == len(s.runq) {
+		grown := make([]*Proc, max(16, 2*len(s.runq)))
+		mask := len(s.runq) - 1
+		for i := 0; i < s.rqLen; i++ {
+			grown[i] = s.runq[(s.rqHead+i)&mask]
 		}
-		e.runq = grown
-		e.rqHead = 0
+		s.runq = grown
+		s.rqHead = 0
 	}
-	e.runq[(e.rqHead+e.rqLen)%len(e.runq)] = p
-	e.rqLen++
+	s.runq[(s.rqHead+s.rqLen)&(len(s.runq)-1)] = p
+	s.rqLen++
+	p.runSeq = e.runSeq
+	e.runSeq++
+	e.runnable++
 }
 
-// popRun removes and returns the front of the run-queue ring.
+// popRun removes and returns the globally oldest runnable process: each
+// shard's ring is FIFO, so the oldest is at the head of one of the
+// rings, found by comparing head runSeq stamps.
 func (e *Engine) popRun() *Proc {
-	p := e.runq[e.rqHead]
-	e.runq[e.rqHead] = nil
-	e.rqHead = (e.rqHead + 1) % len(e.runq)
-	e.rqLen--
+	if len(e.shards) == 1 {
+		return e.shards[0].popRunLocal()
+	}
+	best := -1
+	var bestSeq int64
+	for i := range e.shards {
+		s := &e.shards[i]
+		if s.rqLen == 0 {
+			continue
+		}
+		if seq := s.runq[s.rqHead].runSeq; best < 0 || seq < bestSeq {
+			best, bestSeq = i, seq
+		}
+	}
+	return e.shards[best].popRunLocal()
+}
+
+func (s *shard) popRunLocal() *Proc {
+	p := s.runq[s.rqHead]
+	s.runq[s.rqHead] = nil
+	s.rqHead = (s.rqHead + 1) & (len(s.runq) - 1)
+	s.rqLen--
 	return p
+}
+
+// procBlock is the arena granularity for Proc records.
+const procBlock = 256
+
+// allocProc takes a recycled Proc from the free list, minting a fresh
+// block when it runs dry. Blocks are dense and indexable: the record
+// with id i is procBlocks[i/procBlock][i%procBlock], forever.
+func (e *Engine) allocProc() *Proc {
+	if k := len(e.procFree); k > 0 {
+		p := e.procFree[k-1]
+		e.procFree[k-1] = nil
+		e.procFree = e.procFree[:k-1]
+		return p
+	}
+	blk := make([]Proc, procBlock)
+	for i := range blk {
+		blk[i].eng = e
+		blk[i].id = e.nextProcID
+		e.nextProcID++
+	}
+	e.procBlocks = append(e.procBlocks, blk)
+	for i := procBlock - 1; i >= 1; i-- {
+		e.procFree = append(e.procFree, &blk[i])
+	}
+	return &blk[0]
+}
+
+// procByID returns the arena record with the given id, live or free
+// (diagnostics and tests; engine token).
+func (e *Engine) procByID(id int32) *Proc {
+	return &e.procBlocks[id/procBlock][id%procBlock]
+}
+
+// recycleProc returns an exited process's record to the free list. The
+// resume channel and cached wakeup closures survive recycling; the
+// goroutine of the previous tenure has fully exited before the engine
+// regains the token, so the channel cannot receive a stale send.
+func (e *Engine) recycleProc(p *Proc) {
+	p.name = ""
+	p.parked = false
+	p.wakeErr = nil
+	p.done = false
+	p.tracer = nil
+	p.sleepFired = false
+	p.sleepTimer = Timer{}
+	e.procFree = append(e.procFree, p)
 }
 
 // Spawn creates a new process executing fn and schedules it to run. It
 // may be called before Run or from inside a running process or timer.
+// The process runs on the spawner's scheduling shard.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
+	p := e.allocProc()
+	p.name = name
+	p.shard = int32(e.schedShard)
+	if p.resume == nil {
+		p.resume = make(chan struct{})
 	}
 	e.live++
 	go func() {
@@ -153,114 +318,140 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // Schedule arranges for fn to run at virtual time now+d under the engine
 // token. It returns a handle that can cancel the callback before it
 // fires. The handle is a value: copies are equivalent, and the zero
-// Timer is valid and inert.
+// Timer is valid and inert. The timer lives on the scheduler's current
+// shard, and callbacks it fires inherit that shard.
 func (e *Engine) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	n := e.allocTimer()
+	q := &e.shards[e.schedShard].q
+	n := q.alloc()
 	n.at = e.now + d
 	n.seq = e.seq
 	n.fn = fn
+	n.shard = int32(e.schedShard)
 	e.seq++
-	heap.Push(&e.timers, n)
+	q.insert(n)
 	return Timer{eng: e, n: n, gen: n.gen, at: n.at}
 }
 
-// allocTimer takes a node from the free list, or mints one.
-func (e *Engine) allocTimer() *timerNode {
-	if k := len(e.free); k > 0 {
-		n := e.free[k-1]
-		e.free[k-1] = nil
-		e.free = e.free[:k-1]
-		return n
+// ScheduleArg is Schedule for mass-client workloads: fn is a shared,
+// usually package-level function and arg the per-client state, so a
+// population of millions of timer-driven clients schedules without a
+// closure allocation per event. Semantics are otherwise identical to
+// Schedule.
+func (e *Engine) ScheduleArg(d time.Duration, fn func(arg any), arg any) Timer {
+	return e.scheduleArgOn(e.schedShard, d, fn, arg)
+}
+
+// ScheduleArgOn is ScheduleArg pinned to a scheduling shard: the timer
+// lives in shard's structures, and callbacks it schedules inherit that
+// shard. With an unsharded engine (or shard 0) it is exactly
+// ScheduleArg. The shard index must be in [0, Shards()).
+func (e *Engine) ScheduleArgOn(shard int, d time.Duration, fn func(arg any), arg any) Timer {
+	if shard < 0 || shard >= len(e.shards) {
+		panic(fmt.Sprintf("sim: ScheduleArgOn(%d): shard out of range [0,%d)", shard, len(e.shards)))
 	}
-	return &timerNode{index: -1}
+	return e.scheduleArgOn(shard, d, fn, arg)
 }
 
-// recycleTimer returns a popped node to the free list. Bumping the
-// generation invalidates every outstanding handle to the old tenure, so
-// a late Cancel on a fired timer can never hit the node's next user.
-func (e *Engine) recycleTimer(n *timerNode) {
-	n.gen++
-	n.fn = nil
-	n.canceled = false
-	e.free = append(e.free, n)
+func (e *Engine) scheduleArgOn(shard int, d time.Duration, fn func(arg any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	q := &e.shards[shard].q
+	n := q.alloc()
+	n.at = e.now + d
+	n.seq = e.seq
+	n.afn = fn
+	n.arg = arg
+	n.shard = int32(shard)
+	e.seq++
+	q.insert(n)
+	return Timer{eng: e, n: n, gen: n.gen, at: n.at}
 }
 
-// compactTimers rebuilds the heap without its canceled entries. Called
-// when the dead outnumber the live, so total compaction work stays
-// linear in the number of timers ever canceled.
-func (e *Engine) compactTimers() {
-	live := e.timers[:0]
-	for _, n := range e.timers {
-		if n.canceled {
-			e.recycleTimer(n)
-		} else {
-			live = append(live, n)
+// minTimer peeks the earliest pending timer across shards. Within a
+// shard the queue yields exact (at, seq) order; across shards the
+// minimum of the heads is the global minimum, because seq is stamped
+// globally at schedule time.
+func (e *Engine) minTimer() (*timerNode, int) {
+	if len(e.shards) == 1 {
+		return e.shards[0].q.peek(), 0
+	}
+	var best *timerNode
+	bi := 0
+	for i := range e.shards {
+		n := e.shards[i].q.peek()
+		if n == nil {
+			continue
+		}
+		if best == nil || n.at < best.at || (n.at == best.at && n.seq < best.seq) {
+			best, bi = n, i
 		}
 	}
-	for i := len(live); i < len(e.timers); i++ {
-		e.timers[i] = nil
-	}
-	e.timers = live
-	for i, n := range e.timers {
-		n.index = i
-	}
-	heap.Init(&e.timers)
-	e.dead = 0
-	e.compactions++
+	return best, bi
 }
-
-// compactThreshold is the heap size below which canceled entries are
-// left in place: tiny heaps pop dead entries soon enough anyway, and
-// skipping them avoids compaction thrash in short simulations.
-const compactThreshold = 64
 
 // Run executes the simulation until no process is runnable and no timer is
 // pending (quiescence), or until MaxEvents steps have been taken, in which
 // case it returns an error. Processes parked forever (for example waiting
 // on a resource that is never released) do not keep Run alive; cancel
 // their contexts to unwind them.
+//
+// Determinism across shard counts: runnables drain before timers, in
+// global runSeq order; timers fire in global (at, seq) order. Both
+// orders are independent of which shard holds an entry, so the event
+// sequence — and therefore every byte of output — is identical for any
+// SetShards value on the same seed.
 func (e *Engine) Run() error {
-	max := e.MaxEvents
-	if max <= 0 {
-		max = defaultMaxEvents
+	maxEv := e.MaxEvents
+	if maxEv <= 0 {
+		maxEv = defaultMaxEvents
 	}
 	for {
 		e.events++
-		if e.events > max {
-			return fmt.Errorf("sim: exceeded %d events at t=%v (runnable=%d timers=%d): likely livelock", max, e.now, e.rqLen, e.timers.Len())
+		if e.events > maxEv {
+			return fmt.Errorf("sim: exceeded %d events at t=%v (runnable=%d timers=%d): likely livelock", maxEv, e.now, e.runnable, e.TimerHeapLen())
 		}
-		switch {
-		case e.rqLen > 0:
+		if e.runnable > 0 {
 			p := e.popRun()
+			e.runnable--
+			e.schedShard = int(p.shard)
 			e.current = p
 			p.resume <- struct{}{}
 			<-e.yielded
 			e.current = nil
-		case e.timers.Len() > 0:
-			n := heap.Pop(&e.timers).(*timerNode)
-			if n.canceled {
-				e.dead--
-				e.recycleTimer(n)
-				continue
+			if p.done {
+				e.recycleProc(p)
 			}
+			continue
+		}
+		if n, sh := e.minTimer(); n != nil {
+			q := &e.shards[sh].q
+			q.pop()
 			if n.at > e.now {
 				e.now = n.at
 			}
-			fn := n.fn
-			e.recycleTimer(n)
-			fn()
-		default:
-			return nil
+			e.schedShard = sh
+			if n.afn != nil {
+				afn, arg := n.afn, n.arg
+				q.recycle(n)
+				afn(arg)
+			} else {
+				fn := n.fn
+				q.recycle(n)
+				fn()
+			}
+			continue
 		}
+		return nil
 	}
 }
 
 // Quiesced reports whether the engine has neither runnable processes nor
 // pending timers.
-func (e *Engine) Quiesced() bool { return e.rqLen == 0 && e.timers.Len() == 0 }
+func (e *Engine) Quiesced() bool { return e.runnable == 0 && e.TimerHeapLen() == 0 }
 
 // Live reports the number of processes that have been spawned and have
 // not yet returned.
@@ -282,23 +473,16 @@ type Timer struct {
 }
 
 // Cancel prevents the timer from firing. Canceling an already-fired,
-// already-canceled, or zero Timer is a no-op.
+// already-canceled, or zero Timer is a no-op. Wheel and overflow
+// residents are unlinked and recycled in O(1); near-heap residents are
+// marked and collected lazily.
 func (t Timer) Cancel() {
 	n := t.n
 	if n == nil || n.gen != t.gen || n.canceled {
 		return
 	}
 	n.canceled = true
-	if n.index < 0 {
-		// Already popped: the callback is firing right now and is
-		// canceling itself; nothing remains in the heap to collect.
-		return
-	}
-	e := t.eng
-	e.dead++
-	if e.dead*2 > len(e.timers) && len(e.timers) >= compactThreshold {
-		e.compactTimers()
-	}
+	t.eng.shards[n.shard].q.cancel(n)
 }
 
 // When reports the virtual time at which the timer fires (fired, for
@@ -310,16 +494,27 @@ func (t Timer) When() time.Duration { return t.at }
 // timer" from "a timer exists" in structs that arm one conditionally.
 func (t Timer) Scheduled() bool { return t.n != nil }
 
-// timerNode is the engine-owned record behind a Timer handle.
+// timerNode is the engine-owned record behind a Timer handle. It lives
+// either in a shard's near heap (index = heap position) or on a wheel
+// slot / overflow doubly-linked list (prev/next); loc says which.
 type timerNode struct {
 	at       time.Duration
 	seq      int64
-	fn       func()
+	fn       func()        // closure form (Schedule)
+	afn      func(arg any) // shared-function form (ScheduleArg)
+	arg      any
 	canceled bool
-	index    int    // position in the heap; -1 once popped
-	gen      uint32 // tenure counter; bumped on recycle
+	index    int // position in the near heap; -1 when not in it
+
+	prev, next *timerNode // wheel slot / overflow list links
+	loc        int8       // locNear, locNone, locOverflow, or wheel level
+	slot       uint8      // slot index when loc is a wheel level
+	shard      int32      // owning shard
+	gen        uint32     // tenure counter; bumped on recycle
 }
 
+// timerHeap is the exact-order heap used for near (due) timers; see
+// wheel.go for how it combines with the wheel levels.
 type timerHeap []*timerNode
 
 func (h timerHeap) Len() int { return len(h) }

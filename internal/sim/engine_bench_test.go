@@ -40,7 +40,7 @@ func BenchmarkSchedule(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < n; i++ {
 		e.Schedule(time.Duration(i)*time.Nanosecond, fn)
-		if e.timers.Len() >= 1024 {
+		if e.TimerHeapLen() >= 1024 {
 			if err := e.Run(); err != nil {
 				b.Fatal(err)
 			}
@@ -66,7 +66,7 @@ func BenchmarkScheduleCancel(b *testing.B) {
 		t.Cancel()
 	}
 	b.StopTimer()
-	b.ReportMetric(float64(e.timers.Len()), "heap-len")
+	b.ReportMetric(float64(e.TimerHeapLen()), "pending-len")
 }
 
 // BenchmarkSleepCancelCycle measures the full schedule-then-cancel

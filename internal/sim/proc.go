@@ -17,12 +17,24 @@ import (
 // code drives both simulated and real executions.
 type Proc struct {
 	eng     *Engine
+	id      int32 // arena index; see Engine.procByID
+	shard   int32 // scheduling shard this process runs on
+	runSeq  int64 // global admission stamp of the current run-queue entry
 	name    string
 	resume  chan struct{}
 	parked  bool
 	wakeErr error
 	done    bool
 	tracer  *trace.Client
+
+	// Cached wakeup state for Yield/Sleep/Hang. A process has at most
+	// one pending park, so one fired-flag and one timer slot suffice,
+	// and the two closures are created once per arena record and reused
+	// across parks (and across recycled tenures).
+	sleepFired bool
+	sleepTimer Timer
+	sleepWake  func()      // timer path: wake(nil) unless already fired
+	sleepHook  func(error) // cancel path: cancel timer, wake(err)
 }
 
 // ErrProcKilled is returned from blocking calls when a process is woken
@@ -96,11 +108,42 @@ func (p *Proc) wake(err error) {
 	p.eng.pushRun(p)
 }
 
+// initSleepFns creates the process's reusable wakeup closures. Both
+// capture only p, whose arena record is stable, so they are created
+// once and survive recycling. The fired flag makes timer-vs-cancel a
+// race with exactly one winner; the loser sees the flag and stands
+// down. sleepTimer is the zero Timer for parks without one (Yield,
+// Hang), where Cancel is a no-op.
+func (p *Proc) initSleepFns() {
+	p.sleepWake = func() {
+		if !p.sleepFired {
+			p.sleepFired = true
+			p.wake(nil)
+		}
+	}
+	p.sleepHook = func(err error) {
+		if !p.sleepFired {
+			p.sleepFired = true
+			p.sleepTimer.Cancel()
+			p.wake(err)
+		}
+	}
+}
+
+// armSleep resets the shared wakeup state for a new park.
+func (p *Proc) armSleep() {
+	if p.sleepWake == nil {
+		p.initSleepFns()
+	}
+	p.sleepFired = false
+	p.sleepTimer = Timer{}
+}
+
 // Yield gives other runnable processes a chance to run at the current
 // virtual instant.
 func (p *Proc) Yield() {
-	self := p
-	p.eng.Schedule(0, func() { self.wake(nil) })
+	p.armSleep()
+	p.eng.Schedule(0, p.sleepWake)
 	_ = p.park()
 }
 
@@ -111,14 +154,16 @@ func (p *Proc) SleepFor(d time.Duration) {
 		p.Yield()
 		return
 	}
-	self := p
-	p.eng.Schedule(d, func() { self.wake(nil) })
+	p.armSleep()
+	p.eng.Schedule(d, p.sleepWake)
 	_ = p.park()
 }
 
 // Sleep pauses the process for d of virtual time or until ctx is
 // canceled, whichever comes first, returning the context's error in the
-// latter case. It implements the core.Runtime sleep contract.
+// latter case. It implements the core.Runtime sleep contract. The
+// cached closures and the context's inline hook storage make the
+// steady-state cost zero allocations.
 func (p *Proc) Sleep(ctx context.Context, d time.Duration) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -127,23 +172,13 @@ func (p *Proc) Sleep(ctx context.Context, d time.Duration) error {
 		p.Yield()
 		return ctx.Err()
 	}
-	fired := false
-	self := p
-	t := p.eng.Schedule(d, func() {
-		if !fired {
-			fired = true
-			self.wake(nil)
-		}
-	})
-	unreg := onCancelCtx(ctx, func(err error) {
-		if !fired {
-			fired = true
-			t.Cancel()
-			self.wake(err)
-		}
-	})
+	p.armSleep()
+	p.sleepTimer = p.eng.Schedule(d, p.sleepWake)
+	id, sc := onCancelID(ctx, p.sleepHook)
 	err := p.park()
-	unreg()
+	if sc != nil {
+		sc.removeHook(id)
+	}
 	return err
 }
 
@@ -154,16 +189,12 @@ func (p *Proc) Hang(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	self := p
-	fired := false
-	unreg := onCancelCtx(ctx, func(err error) {
-		if !fired {
-			fired = true
-			self.wake(err)
-		}
-	})
+	p.armSleep()
+	id, sc := onCancelID(ctx, p.sleepHook)
 	err := p.park()
-	unreg()
+	if sc != nil {
+		sc.removeHook(id)
+	}
 	return err
 }
 

@@ -96,7 +96,7 @@ func (r *Resource) Acquire(cp core.Proc, ctx context.Context) error {
 	}
 	w := &resWaiter{p: p}
 	r.waiters = append(r.waiters, w)
-	unreg := onCancelCtx(ctx, func(err error) {
+	id, sc := onCancelID(ctx, func(err error) {
 		if !w.granted && !w.gone {
 			w.gone = true
 			r.Timeouts++
@@ -104,7 +104,9 @@ func (r *Resource) Acquire(cp core.Proc, ctx context.Context) error {
 		}
 	})
 	err := p.park()
-	unreg()
+	if sc != nil {
+		sc.removeHook(id)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRunQueueMaskWraparound drives pushRun/popRun directly through the
+// regime the mask indexing must survive: a head deep into the ring,
+// pushes wrapping past the end, and a growth while wrapped (the copy
+// must unroll the wrap). Pop order must stay FIFO throughout.
+func TestRunQueueMaskWraparound(t *testing.T) {
+	e := New(1)
+	mk := func() *Proc {
+		p := e.allocProc()
+		p.shard = 0
+		return p
+	}
+	var want []*Proc
+	push := func(p *Proc) {
+		e.pushRun(p)
+		want = append(want, p)
+	}
+	popCheck := func() {
+		p := e.popRun()
+		e.runnable--
+		if p != want[0] {
+			t.Fatalf("pop order broken: got proc id %d, want id %d", p.id, want[0].id)
+		}
+		want = want[1:]
+	}
+	// Fill the initial 16-slot ring, drain most of it so the head sits
+	// near the end, then push across the wrap boundary.
+	for i := 0; i < 16; i++ {
+		push(mk())
+	}
+	for i := 0; i < 13; i++ {
+		popCheck()
+	}
+	for i := 0; i < 12; i++ {
+		push(mk()) // tail wraps to the ring's front
+	}
+	if head := e.shards[0].rqHead; head != 13 {
+		t.Fatalf("head = %d, want 13 (setup drifted)", head)
+	}
+	// Grow while wrapped: the 16th live entry forces a 32-slot ring and
+	// the copy must stitch [head:16) + [0:tail) back together in order.
+	for i := 0; i < 20; i++ {
+		push(mk())
+	}
+	if len(e.shards[0].runq) != 64 {
+		t.Fatalf("ring len = %d, want 64 after growth", len(e.shards[0].runq))
+	}
+	for len(want) > 0 {
+		popCheck()
+	}
+	if e.shards[0].rqLen != 0 {
+		t.Fatalf("rqLen = %d after full drain", e.shards[0].rqLen)
+	}
+	// runSeq stamps must be strictly increasing in admission order.
+	if e.runSeq != 48 {
+		t.Fatalf("runSeq = %d, want 48 admissions", e.runSeq)
+	}
+}
+
+// shardWorkload runs a mixed workload — sharded timers via
+// ScheduleArgOn, procs spawned from those shards, sleeps, timeouts, and
+// resource contention — and returns its full event-order fingerprint.
+func shardWorkload(t *testing.T, shards int) (string, int64, time.Duration) {
+	t.Helper()
+	e := New(42)
+	if shards > 1 {
+		e.SetShards(shards)
+	}
+	var log []string
+	r := NewResource(e, "carrier", 2)
+	ctx, cancel := e.WithTimeout(e.Context(), 90*time.Second)
+	defer cancel()
+	type client struct{ id, spins int }
+	var attempt func(arg any)
+	attempt = func(arg any) {
+		c := arg.(*client)
+		if ctx.Err() != nil {
+			return
+		}
+		log = append(log, fmt.Sprintf("fire %d@%v", c.id, e.Elapsed()))
+		e.Spawn(fmt.Sprintf("c%d", c.id), func(p *Proc) {
+			actx, acancel := p.WithTimeout(ctx, 3*time.Second)
+			defer acancel()
+			if r.Acquire(p, actx) == nil {
+				p.SleepFor(time.Duration(c.id%5+1) * 100 * time.Millisecond)
+				r.Release()
+				log = append(log, fmt.Sprintf("done %d@%v", c.id, e.Elapsed()))
+			} else {
+				log = append(log, fmt.Sprintf("drop %d@%v", c.id, e.Elapsed()))
+			}
+			c.spins++
+			if c.spins < 4 {
+				jitter := time.Duration(e.Rand().Intn(2000)) * time.Millisecond
+				e.ScheduleArg(5*time.Second+jitter, attempt, c)
+			}
+		})
+	}
+	clients := make([]client, 24)
+	for i := range clients {
+		clients[i].id = i
+		e.ScheduleArgOn(i%e.Shards(), time.Duration(i)*137*time.Millisecond, attempt, &clients[i])
+	}
+	// A long timer parked beyond the horizon, canceled in-window, so the
+	// overflow path is exercised under sharding too.
+	wd := e.Schedule(90*24*time.Hour, func() { t.Error("overflow watchdog fired") })
+	e.Schedule(80*time.Second, wd.Cancel)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fp := ""
+	for _, l := range log {
+		fp += l + "\n"
+	}
+	return fp, e.Events(), e.Elapsed()
+}
+
+// TestShardCountInvariance is the sharding acceptance test: the same
+// seed must produce a byte-identical event order, event count, and
+// final clock at every shard count. Sharding is an internal-structure
+// choice, never a semantic one.
+func TestShardCountInvariance(t *testing.T) {
+	base, ev, clk := shardWorkload(t, 1)
+	if len(base) == 0 || ev < 100 {
+		t.Fatalf("workload too small to prove anything (events=%d)", ev)
+	}
+	for _, n := range []int{2, 4, 16} {
+		fp, e2, c2 := shardWorkload(t, n)
+		if fp != base {
+			t.Fatalf("shards=%d changed the event order;\nshards=1:\n%s\nshards=%d:\n%s", n, base, n, fp)
+		}
+		if e2 != ev || c2 != clk {
+			t.Fatalf("shards=%d: events/clock (%d,%v) != unsharded (%d,%v)", n, e2, c2, ev, clk)
+		}
+	}
+}
+
+// TestSetShardsValidation pins the guard rails: shard counts must be
+// powers of two, and resharding a used engine is a programming error.
+func TestSetShardsValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 6, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetShards(%d) did not panic", bad)
+				}
+			}()
+			New(1).SetShards(bad)
+		}()
+	}
+	e := New(1)
+	e.Schedule(time.Second, func() {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetShards on a used engine did not panic")
+			}
+		}()
+		e.SetShards(2)
+	}()
+	// ScheduleArgOn must reject out-of-range shards.
+	e2 := New(1)
+	e2.SetShards(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleArgOn(4) on a 4-shard engine did not panic")
+			}
+		}()
+		e2.ScheduleArgOn(4, time.Second, func(any) {}, nil)
+	}()
+}
+
+// TestProcArenaRecycling pins the process arena: records of exited
+// processes are reused (with their resume channels), and the dense
+// id-indexed blocks stay addressable.
+func TestProcArenaRecycling(t *testing.T) {
+	e := New(1)
+	var firstID int32 = -1
+	e.Spawn("a", func(p *Proc) { firstID = p.id })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstID < 0 {
+		t.Fatal("proc did not run")
+	}
+	rec := e.procByID(firstID)
+	if rec.done || rec.name != "" {
+		t.Fatalf("record %d not reset after recycle: done=%v name=%q", firstID, rec.done, rec.name)
+	}
+	// The very next spawn must reuse the freed record, not mint block 2.
+	var secondID int32 = -2
+	e.Spawn("b", func(p *Proc) { secondID = p.id })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if secondID != firstID {
+		t.Fatalf("spawn after exit used record %d, want recycled %d", secondID, firstID)
+	}
+	if len(e.procBlocks) != 1 {
+		t.Fatalf("minted %d blocks for serial spawns, want 1", len(e.procBlocks))
+	}
+	// Churn far past one block: serial spawn/exit cycles must never
+	// mint a second block.
+	for i := 0; i < 3*procBlock; i++ {
+		e.Spawn("churn", func(p *Proc) {})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.procBlocks) != 1 {
+		t.Fatalf("churn minted %d blocks, want 1", len(e.procBlocks))
+	}
+}

@@ -7,8 +7,10 @@ import (
 
 // TestScheduleCancelHeapBounded is the regression test for the
 // canceled-timer leak: a schedule/cancel loop (the WithTimeout pattern)
-// must not grow the heap without bound. With majority-dead compaction
-// the heap stays within a small constant factor of the live count.
+// must not grow the timer structure without bound. Wheel residents are
+// unlinked on Cancel, and the occasional near-heap resident is bounded
+// by majority-dead compaction, so the pending count stays within a
+// small constant.
 func TestScheduleCancelHeapBounded(t *testing.T) {
 	e := New(1)
 	const iters = 100_000
@@ -16,12 +18,12 @@ func TestScheduleCancelHeapBounded(t *testing.T) {
 	for i := 0; i < iters; i++ {
 		tm := e.Schedule(time.Hour, func() { t.Error("canceled timer fired") })
 		tm.Cancel()
-		if l := e.timers.Len(); l > maxLen {
+		if l := e.TimerHeapLen(); l > maxLen {
 			maxLen = l
 		}
 	}
 	if maxLen > 2*compactThreshold {
-		t.Fatalf("heap grew to %d entries during %d schedule/cancel cycles; want <= %d", maxLen, iters, 2*compactThreshold)
+		t.Fatalf("timer structure grew to %d entries during %d schedule/cancel cycles; want <= %d", maxLen, iters, 2*compactThreshold)
 	}
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -78,8 +80,8 @@ func TestTimerSelfCancelDuringFire(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if e.dead != 0 {
-		t.Fatalf("dead = %d after self-cancel, want 0", e.dead)
+	if d := e.shards[0].q.dead; d != 0 {
+		t.Fatalf("dead = %d after self-cancel, want 0", d)
 	}
 	if !e.Quiesced() {
 		t.Fatal("engine not quiesced")

@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// This file implements the engine's timer structure: a hierarchical
+// timer wheel in front of a small exact-order heap.
+//
+// The paper's disciplines are backoff machines, so the engine's timer
+// workload is dominated by schedule-then-cancel: every guarded attempt
+// arms a deadline it almost always cancels. A binary heap pays O(log n)
+// to admit each of those doomed entries and leaves the canceled ones
+// inside until compaction. The wheel pays O(1) to admit and O(1) to
+// remove: a node sits in a doubly-linked slot list, so cancellation is
+// an unlink, and the 10^6-timer regime the scale figure runs stops
+// rippling a million-entry heap on every operation.
+//
+// Geometry: virtual time is bucketed into ticks of 2^20 ns (~1.05 ms),
+// and the wheel has 4 levels of 256 slots, level L spanning 256^(L+1)
+// ticks — about 52 days of virtual time in total. Deadlines beyond the
+// horizon go to an overflow list (rebased into the wheel if the
+// simulation ever gets near them).
+//
+// Exactness: ticks are coarser than timestamps, and the engine's
+// contract is exact (at, seq) firing order. The wheel therefore never
+// fires a node directly; it drains due slots into the "near" heap,
+// which holds only nodes with tick(at) <= cur and pops them in exact
+// order. Every node in the wheel has tick(at) > cur, hence a strictly
+// later timestamp than anything in the near heap, so the near heap's
+// minimum is the queue's minimum. The heap stays small — one tick's
+// worth of timers plus overdue inserts — so its log factor is paid on
+// a handful of entries, not the whole population.
+//
+// cur is the queue's wheel position: the last tick whose nodes have
+// been moved to the near heap. It advances lazily, skipping empty
+// regions via per-level occupancy bitmaps, and may run ahead of the
+// engine's clock when this shard's next timer is far away; inserts that
+// land at or before cur (overdue from this queue's point of view) go
+// straight to the near heap, preserving exact order.
+const (
+	tickShift   = 20 // one tick = 2^20 ns ≈ 1.05 ms of virtual time
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits // 256 slots per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	wheelWords  = wheelSlots / 64 // occupancy bitmap words per level
+)
+
+// timerNode location markers (timerNode.loc). Values 0..wheelLevels-1
+// mean "in that wheel level's slot list".
+const (
+	locNone     int8 = -2          // popped (firing) or on the free list
+	locNear     int8 = -1          // in the near heap (index = heap position)
+	locOverflow int8 = wheelLevels // on the overflow list, beyond the horizon
+)
+
+// tickOf buckets a virtual timestamp into a wheel tick.
+func tickOf(at time.Duration) uint64 { return uint64(at) >> tickShift }
+
+// timerQueue is one shard's pending-timer structure.
+type timerQueue struct {
+	near timerHeap // tick(at) <= cur, exact (at, seq) order
+	dead int       // canceled entries still sitting in near
+
+	cur    uint64                            // last tick drained into near
+	slots  [wheelLevels][wheelSlots]*timerNode // doubly-linked slot lists
+	occ    [wheelLevels][wheelWords]uint64   // slot-occupancy bitmaps
+	cnt    [wheelLevels][wheelSlots]int32    // per-slot node counts
+	lvlLen [wheelLevels]int                  // nodes per level
+
+	overflow    *timerNode // beyond the wheel horizon (~52 virtual days)
+	overflowLen int
+
+	free []*timerNode // recycled nodes; new ones minted in blocks
+
+	// Health counters, surfaced via the Engine's wheel observability
+	// accessors and the internal/obs gauges.
+	cascades    int64 // nodes re-dispersed by level cascades
+	maxSlot     int32 // high-water mark of a single slot's occupancy
+	compactions int64 // near-heap dead-entry compactions
+}
+
+// timerBlock is the arena granularity for timer nodes: nodes are minted
+// in slabs so a million-timer population is a few thousand allocations
+// with dense layout, not a million scattered ones.
+const timerBlock = 256
+
+// alloc takes a node from the free list, minting a fresh block when it
+// runs dry.
+func (q *timerQueue) alloc() *timerNode {
+	if k := len(q.free); k > 0 {
+		n := q.free[k-1]
+		q.free[k-1] = nil
+		q.free = q.free[:k-1]
+		return n
+	}
+	return q.allocSlow()
+}
+
+func (q *timerQueue) allocSlow() *timerNode {
+	blk := make([]timerNode, timerBlock)
+	for i := range blk {
+		blk[i].index = -1
+		blk[i].loc = locNone
+	}
+	for i := timerBlock - 1; i >= 1; i-- {
+		q.free = append(q.free, &blk[i])
+	}
+	return &blk[0]
+}
+
+// recycle returns a node to the free list. Bumping the generation
+// invalidates every outstanding handle to the old tenure, so a late
+// Cancel on a fired timer can never hit the node's next user.
+func (q *timerQueue) recycle(n *timerNode) {
+	n.gen++
+	n.fn = nil
+	n.afn = nil
+	n.arg = nil
+	n.canceled = false
+	n.loc = locNone
+	q.free = append(q.free, n)
+}
+
+// insert files n by its tick distance from cur: overdue ticks go to the
+// near heap (exact order), future ticks to the shallowest level whose
+// span contains them, and deadlines beyond the horizon to overflow.
+func (q *timerQueue) insert(n *timerNode) {
+	t := tickOf(n.at)
+	if t <= q.cur {
+		n.loc = locNear
+		heap.Push(&q.near, n)
+		return
+	}
+	switch delta := t - q.cur; {
+	case delta < 1<<wheelBits:
+		q.place(n, 0, int(t&wheelMask))
+	case delta < 1<<(2*wheelBits):
+		q.place(n, 1, int((t>>wheelBits)&wheelMask))
+	case delta < 1<<(3*wheelBits):
+		q.place(n, 2, int((t>>(2*wheelBits))&wheelMask))
+	case delta < 1<<(4*wheelBits):
+		q.place(n, 3, int((t>>(3*wheelBits))&wheelMask))
+	default:
+		n.loc = locOverflow
+		n.prev = nil
+		n.next = q.overflow
+		if q.overflow != nil {
+			q.overflow.prev = n
+		}
+		q.overflow = n
+		q.overflowLen++
+	}
+}
+
+// place pushes n onto the front of a wheel slot's list.
+func (q *timerQueue) place(n *timerNode, lvl, slot int) {
+	n.loc = int8(lvl)
+	n.slot = uint8(slot)
+	n.prev = nil
+	n.next = q.slots[lvl][slot]
+	if n.next != nil {
+		n.next.prev = n
+	}
+	q.slots[lvl][slot] = n
+	q.occ[lvl][slot>>6] |= 1 << (slot & 63)
+	q.lvlLen[lvl]++
+	c := q.cnt[lvl][slot] + 1
+	q.cnt[lvl][slot] = c
+	if c > q.maxSlot {
+		q.maxSlot = c
+	}
+}
+
+// unlink removes n from its wheel slot or the overflow list in O(1).
+func (q *timerQueue) unlink(n *timerNode) {
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if n.loc == locOverflow {
+		q.overflow = n.next
+	} else {
+		q.slots[n.loc][n.slot] = n.next
+	}
+	if n.loc == locOverflow {
+		q.overflowLen--
+	} else {
+		lvl, slot := int(n.loc), int(n.slot)
+		q.lvlLen[lvl]--
+		q.cnt[lvl][slot]--
+		if q.cnt[lvl][slot] == 0 {
+			q.occ[lvl][slot>>6] &^= 1 << (slot & 63)
+		}
+	}
+	n.prev, n.next = nil, nil
+	n.loc = locNone
+}
+
+// next returns the lowest occupied slot >= from at level lvl, or -1.
+func (q *timerQueue) next(lvl, from int) int {
+	if from >= wheelSlots {
+		return -1
+	}
+	w := from >> 6
+	word := q.occ[lvl][w] &^ (1<<(from&63) - 1)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= wheelWords {
+			return -1
+		}
+		word = q.occ[lvl][w]
+	}
+}
+
+// drainNear moves every node in level-0 slot s — all due at tick cur —
+// into the near heap.
+func (q *timerQueue) drainNear(slot int) {
+	for n := q.slots[0][slot]; n != nil; n = q.slots[0][slot] {
+		q.unlink(n)
+		n.loc = locNear
+		heap.Push(&q.near, n)
+	}
+}
+
+// cascade re-disperses every node in the given slot (level >= 1) by the
+// insert rule against the freshly advanced cur. Each node lands at a
+// strictly shallower level (or the near heap), so total cascade work
+// per node is bounded by the level it was first filed at.
+func (q *timerQueue) cascade(lvl, slot int) {
+	for n := q.slots[lvl][slot]; n != nil; n = q.slots[lvl][slot] {
+		q.unlink(n)
+		q.insert(n)
+		q.cascades++
+	}
+}
+
+// enter advances cur to the start of window w at the given level and
+// re-disperses everything that has just come due, cascading from the
+// top level down: each level's slot at the new position holds exactly
+// the nodes whose window has now arrived (an entry at level L can cross
+// window boundaries of every level above it, so all levels must be
+// checked — a slot already dispersed on a previous entry is empty and
+// costs one head check). The level-0 slot holding tick == cur drains
+// straight to near.
+//
+// The window START is the only correct landing point: entering at the
+// window's last tick instead would re-insert slot-end nodes at delta
+// 256 — right back into the slot being cascaded, forever.
+func (q *timerQueue) enter(lvl int, w uint64) {
+	oldRev := q.cur >> (wheelBits * wheelLevels)
+	q.cur = w << (wheelBits * lvl)
+	if rev := q.cur >> (wheelBits * wheelLevels); rev != oldRev && q.overflowLen > 0 {
+		q.readmitOverflow(rev)
+	}
+	for k := wheelLevels - 1; k >= 1; k-- {
+		q.cascade(k, int((q.cur>>(wheelBits*k))&wheelMask))
+	}
+	q.drainNear(int(q.cur & wheelMask))
+}
+
+// readmitOverflow moves overflow nodes whose deadline now falls inside
+// the wheel horizon back into the wheel. Called whenever cur crosses a
+// top-level revolution boundary, so an overflow node is re-dispersed no
+// later than the start of its own revolution — before it can come due.
+func (q *timerQueue) readmitOverflow(rev uint64) {
+	for n := q.overflow; n != nil; {
+		next := n.next
+		if tickOf(n.at)>>(wheelBits*wheelLevels) <= rev {
+			q.unlink(n)
+			q.insert(n)
+		}
+		n = next
+	}
+}
+
+// advanceOne moves cur forward to the next pending wheel or overflow
+// work, draining at least one due batch toward the near heap. It
+// reports false when the wheel and overflow are completely empty.
+// Empty regions are skipped in O(1) per level via the occupancy
+// bitmaps — cur jumps, it never walks tick by tick.
+func (q *timerQueue) advanceOne() bool {
+	if q.lvlLen[0] > 0 {
+		if s := q.next(0, int(q.cur&wheelMask)+1); s >= 0 {
+			// Next event is inside the current 256-tick window.
+			q.cur = q.cur&^uint64(wheelMask) | uint64(s)
+			q.drainNear(s)
+			return true
+		}
+		// The remaining level-0 nodes wrapped into the next window.
+		q.enter(1, q.cur>>wheelBits+1)
+		return true
+	}
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		if q.lvlLen[lvl] == 0 {
+			continue
+		}
+		pos := q.cur >> (wheelBits * lvl)
+		if s := q.next(lvl, int(pos&wheelMask)+1); s >= 0 {
+			q.enter(lvl, pos&^uint64(wheelMask)|uint64(s))
+		} else if lvl < wheelLevels-1 {
+			// This level's remaining slots wrapped past its window
+			// boundary; step into the parent level's next window.
+			q.enter(lvl+1, q.cur>>(wheelBits*(lvl+1))+1)
+		} else {
+			// Top level wrapped: jump straight to its next occupied
+			// slot in the following revolution.
+			s := q.next(lvl, 0)
+			q.enter(lvl, (pos>>wheelBits+1)<<wheelBits|uint64(s))
+		}
+		return true
+	}
+	if q.overflowLen > 0 {
+		q.rebase()
+		return true
+	}
+	return false
+}
+
+// rebase runs when the wheels are empty but overflow nodes remain: jump
+// cur to the earliest overflow deadline and re-disperse the whole list.
+// Overflow nodes are at least 2^32 ticks out, so per-node rebase work
+// is vanishingly rare.
+func (q *timerQueue) rebase() {
+	min := uint64(math.MaxUint64)
+	for n := q.overflow; n != nil; n = n.next {
+		if t := tickOf(n.at); t < min {
+			min = t
+		}
+	}
+	head := q.overflow
+	q.overflow = nil
+	q.overflowLen = 0
+	q.cur = min
+	for n := head; n != nil; {
+		next := n.next
+		n.prev, n.next = nil, nil
+		q.insert(n)
+		n = next
+	}
+}
+
+// peek returns the earliest live timer without removing it, advancing
+// the wheel as needed, or nil when nothing is pending. Canceled near
+// entries surfacing at the top are collected on the way.
+func (q *timerQueue) peek() *timerNode {
+	for {
+		for q.near.Len() > 0 {
+			n := q.near[0]
+			if !n.canceled {
+				return n
+			}
+			heap.Pop(&q.near)
+			q.dead--
+			q.recycle(n)
+		}
+		if !q.advanceOne() {
+			return nil
+		}
+	}
+}
+
+// pop removes the node a preceding peek returned.
+func (q *timerQueue) pop() *timerNode {
+	n := heap.Pop(&q.near).(*timerNode)
+	n.loc = locNone
+	return n
+}
+
+// cancel collects a node whose canceled flag the caller has just set:
+// wheel and overflow nodes unlink and recycle immediately (O(1)); near
+// nodes are left for lazy collection with majority-dead compaction, as
+// popping from mid-heap would cost O(log n) right here.
+func (q *timerQueue) cancel(n *timerNode) {
+	switch n.loc {
+	case locNear:
+		q.dead++
+		if q.dead*2 > q.near.Len() && q.near.Len() >= compactThreshold {
+			q.compact()
+		}
+	case locNone:
+		// Popped: the callback is firing right now and canceled itself;
+		// nothing remains in the structure to collect.
+	default:
+		q.unlink(n)
+		q.recycle(n)
+	}
+}
+
+// compactThreshold is the near-heap size below which canceled entries
+// are left in place: tiny heaps pop dead entries soon enough anyway,
+// and skipping them avoids compaction thrash in short simulations.
+const compactThreshold = 64
+
+// compact rebuilds the near heap without its canceled entries. Called
+// when the dead outnumber the live, so total compaction work stays
+// linear in the number of timers ever canceled.
+func (q *timerQueue) compact() {
+	live := q.near[:0]
+	for _, n := range q.near {
+		if n.canceled {
+			q.recycle(n)
+		} else {
+			live = append(live, n)
+		}
+	}
+	for i := len(live); i < len(q.near); i++ {
+		q.near[i] = nil
+	}
+	q.near = live
+	for i, n := range q.near {
+		n.index = i
+	}
+	heap.Init(&q.near)
+	q.dead = 0
+	q.compactions++
+}
+
+// pending reports every entry still tracked: live wheel and overflow
+// nodes plus near entries, including canceled ones awaiting collection.
+func (q *timerQueue) pending() int {
+	n := q.near.Len() + q.overflowLen
+	for _, l := range q.lvlLen {
+		n += l
+	}
+	return n
+}

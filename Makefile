@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke scale-smoke golden ci
+.PHONY: all build vet test race race-core short bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke scale-smoke gridd-smoke golden ci
 
 all: build
 
@@ -93,8 +93,20 @@ scale-smoke:
 	$(GO) test -race ./internal/expt -run 'TestFigScale|TestScaleWheel' -count=1
 	$(GO) test -race ./cmd/gridbench -run 'TestGoldenFigScale' -count=1
 
+# Networked-service gate: build the real daemon, then run the wire
+# protocol's unit/property/shutdown suites, the socket-level
+# differential harness (TestDiffGridd*: every cell spawns its own
+# in-process daemon), the fenced-vs-unfenced channel-chaos ablation at
+# the HTTP boundary, and the conformance golden through the CLI — all
+# under the race detector.
+gridd-smoke:
+	$(GO) build -o /tmp/gridd-smoke-bin ./cmd/gridd
+	$(GO) test -race ./internal/gridd ./internal/griddclient ./cmd/gridd -count=1
+	$(GO) test -race ./internal/expt -run 'TestDiffGridd|TestGridd' -count=1
+	$(GO) test -race ./cmd/gridbench -run 'TestGoldenFigGridd|TestGriddBackend' -count=1
+
 # Rewrite the gridbench golden files after an intentional output change.
 golden:
 	$(GO) test ./cmd/gridbench -run TestGolden -update
 
-ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke scale-smoke
+ci: vet build race-core race bench-smoke fuzz-smoke diff-smoke res-smoke obs-smoke net-smoke scale-smoke gridd-smoke

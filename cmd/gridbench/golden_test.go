@@ -82,6 +82,14 @@ func TestGoldenFigScaleSharded(t *testing.T) {
 	golden(t, "figscale_table", "-fig", "scale", "-scale", "0.01", "-shards", "8")
 }
 
+// TestGoldenFigGridd pins the wire-protocol conformance checklist: a
+// real daemon is spawned in-process and every "ok" line is a property
+// proven over the socket, so the golden is deterministic despite the
+// live HTTP transport.
+func TestGoldenFigGridd(t *testing.T) {
+	golden(t, "figgridd", "-fig", "gridd", "-backend", "gridd")
+}
+
 func TestDeterministicWithChaos(t *testing.T) {
 	args := []string{"-fig", "3", "-scale", "0.1", "-chaos", "mixed", "-check"}
 	c1, a, e1 := cli(t, args...)

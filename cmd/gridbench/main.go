@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	gridbench [-fig N|la|res|net|scale] [-seed S] [-scale F] [-format table|tsv]
-//	          [-backend sim|live] [-timescale F]
+//	gridbench [-fig N|la|res|net|scale|gridd] [-seed S] [-scale F] [-format table|tsv]
+//	          [-backend sim|live|gridd] [-timescale F] [-gridd-addr URL]
 //	          [-parallel N] [-shards N] [-chaos PLAN] [-chaos-seed S] [-check]
 //	          [-trace FILE] [-trace-format jsonl|chrome] [-trace-summary]
 //	          [-trace-quantiles] [-metrics FILE] [-metrics-interval D]
@@ -51,7 +51,13 @@
 // virtual seconds per real second, default 1000). Live runs exercise
 // real scheduler interleavings, so their numbers vary run to run —
 // compare them to sim output with the tolerance-band methodology in
-// EXPERIMENTS.md, not byte-wise.
+// EXPERIMENTS.md, not byte-wise. "gridd" talks to a real networked
+// gridd daemon (see cmd/gridd) over HTTP and runs the wire-protocol
+// conformance checklist (-fig gridd, the only figure it serves; the
+// full scenario differentials against a daemon live in
+// internal/expt's TestDiffGridd* suite). By default the checklist
+// spawns its own in-process daemon on a loopback listener;
+// -gridd-addr points it at an externally running one instead.
 //
 // -parallel runs the sweep figures' independent simulation cells on N
 // workers (0, the default, means GOMAXPROCS; 1 forces the serial
@@ -110,11 +116,11 @@ func main() {
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "", "figure to regenerate (1-7, la, res, net, or scale); empty means all paper figures")
+	fig := fs.String("fig", "", "figure to regenerate (1-7, la, res, net, scale, or gridd); empty means all paper figures")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "scale factor for windows and populations (1.0 = paper)")
 	format := fs.String("format", "table", "output format: table or tsv")
-	backend := fs.String("backend", expt.BackendSim, "execution backend: sim (deterministic) or live (wall clock, compressed time)")
+	backend := fs.String("backend", expt.BackendSim, "execution backend: "+strings.Join(expt.Backends(), ", "))
 	timescale := fs.Float64("timescale", 0, "live backend only: virtual seconds per real second (0 = default "+fmt.Sprint(expt.DefaultTimescale)+")")
 	chaosName := fs.String("chaos", "", "fault-injection plan to run the figures under ("+strings.Join(chaos.Names(), ", ")+")")
 	chaosSeed := fs.Int64("chaos-seed", 0, "seed for the fault plan's schedule (default: -seed)")
@@ -126,7 +132,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	metricsOut := fs.String("metrics", "", "sample the flight recorder on the backend clock and dump it to this file")
 	metricsInterval := fs.Duration("metrics-interval", 0, "virtual-time sampling interval for -metrics (0 = default "+expt.DefaultObsInterval.String()+")")
 	metricsFormat := fs.String("metrics-format", "jsonl", "metrics dump format: jsonl, csv, or prom")
-	obsAddr := fs.String("obs-addr", "", "live backend only: serve /metrics, /healthz, and pprof on this address during the run")
+	obsAddr := fs.String("obs-addr", "", "live or gridd backend: serve /metrics, /healthz, and pprof on this address during the run")
+	griddAddr := fs.String("gridd-addr", "", "gridd backend only: base URL of a running gridd daemon (empty spawns one in-process)")
 	progress := fs.Bool("progress", false, "print one-line sweep progress to stderr about once a second")
 	parallel := fs.Int("parallel", 0, "worker count for independent simulation cells (0 = GOMAXPROCS, 1 = serial)")
 	shards := fs.Int("shards", 0, "engine scheduling shards for the scale figure (power of two; 0 or 1 = unsharded)")
@@ -144,8 +151,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gridbench: unknown trace format %q (want jsonl or chrome)\n", *traceFormat)
 		return 2
 	}
-	if *backend != expt.BackendSim && *backend != expt.BackendLive {
-		fmt.Fprintf(stderr, "gridbench: unknown backend %q (want sim or live)\n", *backend)
+	if !expt.KnownBackend(*backend) {
+		fmt.Fprintf(stderr, "gridbench: unknown backend %q (want %s)\n", *backend, strings.Join(expt.Backends(), ", "))
 		return 2
 	}
 	if *timescale < 0 {
@@ -172,8 +179,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gridbench: negative metrics interval %v\n", *metricsInterval)
 		return 2
 	}
-	if *obsAddr != "" && *backend != expt.BackendLive {
-		fmt.Fprintf(stderr, "gridbench: -obs-addr needs -backend=live (the sim backend finishes in virtual time; dump it with -metrics instead)\n")
+	if *obsAddr != "" && *backend == expt.BackendSim {
+		fmt.Fprintf(stderr, "gridbench: -obs-addr needs a wall-clock backend (the sim backend finishes in virtual time; dump it with -metrics instead)\n")
+		return 2
+	}
+	if *backend == expt.BackendGridd && *fig != "gridd" {
+		fmt.Fprintf(stderr, "gridbench: -backend=gridd serves only -fig gridd, the wire-protocol conformance checklist (the scenario differentials against a daemon run in internal/expt's TestDiffGridd* suite)\n")
+		return 2
+	}
+	if *fig == "gridd" && *backend != expt.BackendGridd {
+		fmt.Fprintf(stderr, "gridbench: -fig gridd needs -backend=gridd (it proves the wire protocol, not a simulation)\n")
+		return 2
+	}
+	if *griddAddr != "" && *backend != expt.BackendGridd {
+		fmt.Fprintf(stderr, "gridbench: -gridd-addr needs -backend=gridd\n")
 		return 2
 	}
 	r := &renderer{w: stdout, stderr: stderr, tsv: *format == "tsv"}
@@ -209,7 +228,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Shards: *shards, Backend: *backend, Timescale: *timescale}
+	opt := expt.Options{Seed: *seed, Scale: *scale, Parallel: *parallel, Shards: *shards, Backend: *backend, Timescale: *timescale, GriddURL: *griddAddr}
 	if *metricsOut != "" || *obsAddr != "" || *progress {
 		// -progress needs the recorder too: the events/sec column comes
 		// from the engine event counters it samples.
@@ -249,10 +268,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	figs := []string{"1", "2", "3", "4", "5", "6", "7", "la", "res", "net"}
 	if *fig != "" {
 		switch *fig {
-		case "1", "2", "3", "4", "5", "6", "7", "la", "res", "net", "scale":
+		case "1", "2", "3", "4", "5", "6", "7", "la", "res", "net", "scale", "gridd":
 			figs = []string{*fig}
 		default:
-			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation, \"net\" the unreliable-channel ablation, \"scale\" the million-client engine sweep)\n", *fig)
+			fmt.Fprintf(stderr, "gridbench: no such figure %s (the paper has Figures 1-7; \"la\" is the limited-allocation ablation, \"res\" the reservation ablation, \"net\" the unreliable-channel ablation, \"scale\" the million-client engine sweep, \"gridd\" the wire-protocol conformance checklist)\n", *fig)
 			return 2
 		}
 	}
@@ -329,6 +348,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			r.dump(na.Integrity)
 			fmt.Fprintf(r.w, "# channel: submit-path request drops, lease-wire drops/dups, watchdog revocations (fenced arms)\n")
 			r.dump(na.Channel)
+		case "gridd":
+			r.header("GRIDD", "Wire-Protocol Conformance", "carrier sense, fenced leases, watchdog revocation, and admission booking over a real HTTP socket")
+			url, stop, err := opt.GriddDaemon()
+			if err != nil {
+				fmt.Fprintf(stderr, "gridbench: %v\n", err)
+				return 1
+			}
+			cerr := expt.GriddConformance(url, r.w)
+			stop()
+			if cerr != nil {
+				fmt.Fprintf(stderr, "gridbench: conformance: %v\n", cerr)
+				return 1
+			}
 		case "scale":
 			r.header("SCALE", "Million-Client Engine Sweep", "lightweight Ethernet clients on shared carrier, 60 virtual seconds, engine-throughput benchmark")
 			sc := expt.FigScale(opt)

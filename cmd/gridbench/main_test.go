@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/expt"
 )
 
 func cli(t *testing.T, args ...string) (int, string, string) {
@@ -52,6 +54,28 @@ func TestBadFormat(t *testing.T) {
 func TestBadBackend(t *testing.T) {
 	code, _, errOut := cli(t, "-backend", "quantum")
 	if code != 2 || !strings.Contains(errOut, "unknown backend") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	// The error advertises the full registry, so a typo'd name shows
+	// every spelling that would have worked.
+	for _, b := range expt.Backends() {
+		if !strings.Contains(errOut, b) {
+			t.Fatalf("backend error does not list %q: %q", b, errOut)
+		}
+	}
+}
+
+func TestGriddBackendServesOnlyFigGridd(t *testing.T) {
+	code, _, errOut := cli(t, "-backend", "gridd", "-fig", "1")
+	if code != 2 || !strings.Contains(errOut, "-backend=gridd serves only -fig gridd") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	code, _, errOut = cli(t, "-fig", "gridd")
+	if code != 2 || !strings.Contains(errOut, "-fig gridd needs -backend=gridd") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	code, _, errOut = cli(t, "-gridd-addr", "http://localhost:1", "-fig", "1")
+	if code != 2 || !strings.Contains(errOut, "-gridd-addr needs -backend=gridd") {
 		t.Fatalf("code=%d stderr=%q", code, errOut)
 	}
 }

@@ -13,9 +13,9 @@ import (
 	"time"
 )
 
-func TestObsAddrNeedsLiveBackend(t *testing.T) {
+func TestObsAddrNeedsWallClockBackend(t *testing.T) {
 	code, _, errOut := cli(t, "-obs-addr", ":0", "-fig", "1", "-scale", "0.05")
-	if code != 2 || !strings.Contains(errOut, "-obs-addr needs -backend=live") {
+	if code != 2 || !strings.Contains(errOut, "-obs-addr needs a wall-clock backend") {
 		t.Fatalf("code=%d stderr=%q", code, errOut)
 	}
 }

@@ -435,3 +435,93 @@ func TestDiffLeaseNoStarvation(t *testing.T) {
 		}
 	})
 }
+
+// ---------------------------------------------------------------------
+// The third backend: gridd, over a real socket
+// ---------------------------------------------------------------------
+
+// TestDiffGriddSubmitOrdering is the submit differential over the
+// wire: the same Ethernet >= Aloha >= Fixed ordering the sim and live
+// cells prove, with the descriptor table living in an in-process gridd
+// daemon and every carrier sense, acquisition, and release a real HTTP
+// round-trip. Each discipline's trace must still pass the grammar
+// checker — the wire changes the substrate, not the client's timeline.
+func TestDiffGriddSubmitOrdering(t *testing.T) {
+	for _, seed := range diffSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("gridd/seed=%d", seed), func(t *testing.T) {
+			opt := Options{Backend: BackendGridd}
+			const n = 12
+			window := 40 * time.Second
+			jobs := map[core.Discipline]float64{}
+			floorBreaches := 0
+			for _, d := range core.Disciplines {
+				tr := trace.New()
+				res, err := GriddSubmitCell(opt, seed, n, window, d, tr)
+				if err != nil {
+					t.Fatalf("%s cell: %v", d, err)
+				}
+				checkTrace(t, tr)
+				jobs[d] = float64(res.Jobs)
+				if d == core.Ethernet {
+					floorBreaches = res.FloorBreaches
+				}
+				t.Logf("%s: jobs=%d crashes=%d grants=%d rejects=%d revokes=%d stales=%d",
+					d, res.Jobs, res.Crashes, res.Stats.Grants, res.Stats.Rejects,
+					res.Stats.Revokes, res.Stats.Stales)
+			}
+			if jobs[core.Ethernet] == 0 {
+				t.Fatal("Ethernet submitted nothing over the wire")
+			}
+			atLeast(t, "Ethernet >= Aloha jobs", jobs[core.Ethernet], jobs[core.Aloha], 0.15)
+			atLeast(t, "Aloha >= Fixed jobs", jobs[core.Aloha], jobs[core.Fixed], 0.15)
+			atLeast(t, "Ethernet >= 2x Fixed jobs", jobs[core.Ethernet], 2*jobs[core.Fixed], 0)
+			// The carrier floor, observed through the socket: a real
+			// concurrent run over HTTP gets the same single-excursion
+			// allowance as the live backend.
+			if floorBreaches > 1 {
+				t.Errorf("carrier-floor excursions = %d, want <= 1", floorBreaches)
+			}
+		})
+	}
+}
+
+// TestDiffGriddLeaseNoStarvation is the lease differential over the
+// wire: wedged holders must be revoked by the daemon-side watchdog —
+// running on the server's wall clock, with no client cooperation — and
+// no client may wait past the live-band starvation budget.
+func TestDiffGriddLeaseNoStarvation(t *testing.T) {
+	for _, seed := range diffSeeds {
+		seed := seed
+		t.Run(fmt.Sprintf("gridd/seed=%d", seed), func(t *testing.T) {
+			opt := Options{Backend: BackendGridd}
+			const n = 16
+			window := 80 * time.Second
+			quantum := 8 * time.Second
+			tr := trace.New()
+			res, err := GriddLeaseCell(opt, seed, n, window, quantum, tr)
+			if err != nil {
+				t.Fatalf("lease cell: %v", err)
+			}
+			checkTrace(t, tr)
+			t.Logf("jobs=%d revokes=%d starved=%d maxWait=%v jain=%.2f",
+				res.Jobs, res.Revokes, res.Starved, res.MaxWait, res.Jain)
+			if res.Jobs == 0 {
+				t.Fatal("leased cell completed nothing over the wire")
+			}
+			if res.Revokes == 0 {
+				t.Error("daemon watchdog never revoked a wedged holder")
+			}
+			// Same band as the live backend: a real socket adds RTT
+			// jitter on top of scheduler phasing, so the claim is
+			// "bounded", not "never".
+			budget := 4 * quantum
+			if res.Starved > 1 {
+				t.Errorf("starvation excursions = %d, want <= 1 (maxWait %v)", res.Starved, res.MaxWait)
+			}
+			if res.MaxWait > 2*budget {
+				t.Errorf("maxWait = %v, want <= 2x budget %v", res.MaxWait, budget)
+			}
+		})
+	}
+}

@@ -59,9 +59,11 @@ type Options struct {
 	// Backend selects the runtime the cells execute on: BackendSim
 	// (the default) is the deterministic virtual-clock engine,
 	// BackendLive runs the same scenarios on real goroutines under
-	// compressed wall-clock time (see internal/live). Live runs are
-	// not reproducible; compare them to sim runs with tolerance bands
-	// (see diff_test.go), never byte-for-byte.
+	// compressed wall-clock time (see internal/live), and BackendGridd
+	// runs them against a real networked gridd daemon over HTTP (see
+	// gridd.go). Live and gridd runs are not reproducible; compare
+	// them to sim runs with tolerance bands (see diff_test.go), never
+	// byte-for-byte.
 	Backend string
 	// Timescale compresses live-backend time: virtual seconds per real
 	// second. Zero means DefaultTimescale. Ignored by the sim backend,
@@ -82,6 +84,11 @@ type Options struct {
 	// completion order — not cell order — and, on the worker pool, from
 	// worker goroutines; the callback must be safe for that.
 	Progress func(done, total int, events int64)
+	// GriddURL points the gridd cells at an already-running daemon
+	// (see cmd/gridd). Empty means each cell spawns its own in-process
+	// daemon on a loopback listener and tears it down afterwards, so
+	// the socket-level suites need no external setup.
+	GriddURL string
 
 	// cellObs is the per-cell registry handed out by runCells on the
 	// sim backend (merged into Obs in cell order); obsCell names the

@@ -1,0 +1,563 @@
+// Package gridd is the networked service backend: a wall-clock HTTP
+// daemon hosting the paper's contended resources — the schedd FD
+// table, fsbuffer occupancy, replica service lanes — behind a small
+// JSON wire protocol, so the Ethernet discipline's client code runs
+// against a real socket instead of an in-process substrate.
+//
+// The server re-hosts internal/lease.Manager's semantics on the wall
+// clock: FIFO counting semaphores granting epoch-fenced leases with a
+// server-side watchdog, an interval admission book (Reserve/Claim),
+// monotone fencing so late or duplicated operations land as
+// core.ErrStale over the wire, and an optional housekeeping loop whose
+// failure crashes the resource and revokes every grant — the broadcast
+// jam of the submit scenario. Graceful shutdown mirrors the live
+// engine's drain: new work is refused with a typed retriable error,
+// in-flight grants are waited out, and whatever remains is revoked in
+// (deadline, seq) order, exactly as live.Engine.Run fires leftover
+// watchdogs.
+package gridd
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ResourceConfig shapes one hosted resource; see CreateRequest for
+// field semantics (this is its internal, time.Duration form).
+type ResourceConfig struct {
+	Name              string
+	Capacity          int64
+	Quantum           time.Duration // default tenure; 0 = unlimited
+	Unfenced          bool
+	HousekeepUnits    int64
+	HousekeepInterval time.Duration
+	RestartDelay      time.Duration
+	CrashHolder       string
+}
+
+// Config shapes a Server.
+type Config struct {
+	// Resources are created at construction; more can be added over
+	// the wire (POST /resources).
+	Resources []ResourceConfig
+}
+
+// Server hosts the resources. One mutex guards all state — the same
+// monitor discipline as the live engine — and every timer callback
+// takes it before touching anything.
+type Server struct {
+	mu       sync.Mutex
+	start    time.Time
+	res      map[string]*resource
+	order    []string // creation order, for deterministic iteration
+	seq      uint64   // server-wide grant sequence (drain total order)
+	draining bool
+	closed   bool
+
+	reg *obs.Registry
+	// scopes are sampled by /metrics; appended by registerObs, which by
+	// the lock-ordering rule documented there never runs under mu.
+	scopes []*obs.Scope
+}
+
+// NewServer builds a server hosting cfg.Resources.
+func NewServer(cfg Config) *Server {
+	s := &Server{
+		start: time.Now(),
+		res:   make(map[string]*resource),
+		reg:   obs.New(),
+	}
+	for _, rc := range cfg.Resources {
+		s.mu.Lock()
+		s.createLocked(rc)
+		s.mu.Unlock()
+		s.registerObs(rc.Name)
+	}
+	return s
+}
+
+// nowNS is the daemon clock: real ns since construction.
+func (s *Server) nowNS() int64 { return int64(time.Since(s.start)) }
+
+// resource is one hosted FIFO counting semaphore with fenced leases.
+type resource struct {
+	srv *Server
+	cfg ResourceConfig
+
+	capacity int64
+	// inUse is the admission bookkeeping. On a fenced resource it
+	// always equals outstanding; on an unfenced one a duplicated
+	// release corrupts it low, and the gap is what phantom grants
+	// measure.
+	inUse          int64
+	outstanding    int64 // ground truth: sum of live grants' units
+	maxOutstanding int64
+
+	epoch   uint64 // next fencing epoch to mint
+	fence   uint64 // highest retired epoch
+	leaseID uint64
+
+	grants  map[uint64]*grant
+	waiters []*waiter
+	wseq    uint64
+
+	down        bool
+	downUntil   time.Time
+	hkTimer     *time.Timer
+	restartTime *time.Timer
+
+	bookings map[uint64]*booking
+	bookID   uint64
+
+	st      StatsReply // counters only; gauges filled on read
+	holders map[string]*holderLedger
+}
+
+// grant is one live lease.
+type grant struct {
+	id       uint64
+	holder   string
+	units    int64
+	epoch    uint64
+	quantum  time.Duration
+	deadline time.Time // zero = unlimited tenure
+	seq      uint64    // server-wide grant order (drain tiebreak)
+	wseq     uint64    // FIFO position if the acquire parked; 0 = immediate
+	watchdog *time.Timer
+	done     bool
+}
+
+// waiter is one parked acquire (a long poll).
+type waiter struct {
+	holder   string
+	units    int64
+	quantum  time.Duration
+	seq      uint64 // FIFO position
+	ch       chan waitResult
+	canceled bool
+}
+
+type waitResult struct {
+	lease *LeaseReply
+	code  string // error code when lease == nil
+	retry time.Duration
+}
+
+// booking is one admission-book window.
+type booking struct {
+	id         uint64
+	holder     string
+	units      int64
+	start, end time.Time
+	claimed    bool
+	canceled   bool
+}
+
+// holderLedger is the per-holder fairness/starvation accounting, the
+// wire-side analogue of lease.Manager's ledger.
+type holderLedger struct {
+	grants, rejects, revokes int64
+	waiting                  bool
+	since                    time.Time
+	maxWait                  time.Duration
+}
+
+// createLocked creates or resizes a resource. Only capacity changes on
+// an existing resource; everything else is fixed at first creation so
+// re-creates are idempotent.
+func (s *Server) createLocked(rc ResourceConfig) *resource {
+	if r, ok := s.res[rc.Name]; ok {
+		if rc.Capacity > 0 && rc.Capacity != r.capacity {
+			r.capacity = rc.Capacity
+			r.grantWaiters()
+		}
+		return r
+	}
+	r := &resource{
+		srv:      s,
+		cfg:      rc,
+		capacity: rc.Capacity,
+		grants:   make(map[uint64]*grant),
+		bookings: make(map[uint64]*booking),
+		holders:  make(map[string]*holderLedger),
+	}
+	r.st.Resource = rc.Name
+	s.res[rc.Name] = r
+	s.order = append(s.order, rc.Name)
+	if rc.HousekeepInterval > 0 && !s.draining {
+		r.armHousekeeping()
+	}
+	return r
+}
+
+// ledger returns (creating if needed) the holder's ledger row.
+func (r *resource) ledger(holder string) *holderLedger {
+	h := r.holders[holder]
+	if h == nil {
+		h = &holderLedger{}
+		r.holders[holder] = h
+	}
+	return h
+}
+
+// noteWant starts (or continues) a holder's starvation clock.
+func (h *holderLedger) noteWant(now time.Time) {
+	if !h.waiting {
+		h.waiting = true
+		h.since = now
+	}
+}
+
+// endWait stops the starvation clock and records the excursion.
+func (h *holderLedger) endWait(now time.Time) {
+	if !h.waiting {
+		return
+	}
+	h.waiting = false
+	if w := now.Sub(h.since); w > h.maxWait {
+		h.maxWait = w
+	}
+}
+
+// fits reports whether units can be granted right now under the
+// bookkeeping view.
+func (r *resource) fits(units int64) bool { return r.inUse+units <= r.capacity }
+
+// shortfall is how many units over capacity a request is (>= 1 when
+// not fitting).
+func (r *resource) shortfall(units int64) int64 {
+	sf := r.inUse + units - r.capacity
+	if sf < 1 {
+		sf = 1
+	}
+	return sf
+}
+
+// grantLocked admits units to holder: mints the lease, arms the
+// watchdog, and maintains the ground-truth ledger. Server lock held.
+func (r *resource) grantLocked(holder string, units int64, quantum time.Duration, wseq uint64) *LeaseReply {
+	s := r.srv
+	r.inUse += units
+	r.outstanding += units
+	if r.outstanding > r.maxOutstanding {
+		r.maxOutstanding = r.outstanding
+	}
+	if r.outstanding > r.capacity {
+		// A fenced resource can never get here: inUse == outstanding
+		// and grants are admission-checked. An unfenced one corrupted
+		// by a duplicated release just allocated units it does not
+		// have — the phantom grant the ablation counts.
+		r.st.Phantoms++
+	}
+	r.leaseID++
+	r.epoch++
+	s.seq++
+	g := &grant{
+		id:      r.leaseID,
+		holder:  holder,
+		units:   units,
+		epoch:   r.epoch,
+		quantum: quantum,
+		seq:     s.seq,
+		wseq:    wseq,
+	}
+	if quantum > 0 {
+		g.deadline = time.Now().Add(quantum)
+		id := g.id
+		g.watchdog = time.AfterFunc(quantum, func() { r.expire(id) })
+	}
+	r.grants[g.id] = g
+	r.st.Grants++
+	h := r.ledger(holder)
+	h.grants++
+	h.endWait(time.Now())
+	rep := &LeaseReply{
+		Resource:  r.cfg.Name,
+		LeaseID:   g.id,
+		Epoch:     g.epoch,
+		Units:     units,
+		QuantumNS: int64(quantum),
+		WaiterSeq: wseq,
+		GrantSeq:  g.seq,
+	}
+	if !g.deadline.IsZero() {
+		rep.DeadlineNS = int64(g.deadline.Sub(s.start))
+	}
+	return rep
+}
+
+// retireLocked removes a live grant, advancing the fence on a fenced
+// resource. Server lock held.
+func (r *resource) retireLocked(g *grant) {
+	g.done = true
+	if g.watchdog != nil {
+		g.watchdog.Stop()
+	}
+	delete(r.grants, g.id)
+	r.outstanding -= g.units
+	r.inUse -= g.units
+	if r.inUse < 0 {
+		r.inUse = 0 // unfenced corruption can undershoot
+	}
+	if !r.cfg.Unfenced && g.epoch > r.fence {
+		r.fence = g.epoch
+	}
+}
+
+// grantWaiters grants parked acquires strictly in FIFO order: the head
+// must fit before anyone behind it is considered, which is what makes
+// WaiterSeq/GrantSeq a checkable FIFO proof. Server lock held.
+func (r *resource) grantWaiters() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if w.canceled {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.down || !r.fits(w.units) {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		rep := r.grantLocked(w.holder, w.units, w.quantum, w.seq)
+		w.ch <- waitResult{lease: rep}
+	}
+}
+
+// flushWaiters fails every parked acquire with code. Server lock held.
+func (r *resource) flushWaiters(code string, retry time.Duration) {
+	for _, w := range r.waiters {
+		if !w.canceled {
+			w.canceled = true
+			w.ch <- waitResult{code: code, retry: retry}
+		}
+	}
+	r.waiters = r.waiters[:0]
+}
+
+// expire is the watchdog firing for lease id: revoke the tenure and
+// reclaim its units, exactly as lease.Manager's watchdog does.
+func (r *resource) expire(id uint64) {
+	s := r.srv
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := r.grants[id]
+	if !ok || g.done {
+		return
+	}
+	r.revokeLocked(g)
+	r.grantWaiters()
+}
+
+// revokeLocked force-retires a grant, charging the holder. Server
+// lock held.
+func (r *resource) revokeLocked(g *grant) {
+	r.retireLocked(g)
+	r.st.Revokes++
+	r.ledger(g.holder).revokes++
+}
+
+// crashLocked is the broadcast jam: the resource goes down for
+// RestartDelay, every live grant is revoked (their holders discover it
+// as ErrStale on their next renew or release), and parked acquires
+// fail fast with CodeDown. Server lock held.
+func (r *resource) crashLocked() {
+	if r.down {
+		return
+	}
+	r.st.Crashes++
+	r.down = true
+	delay := r.cfg.RestartDelay
+	if delay <= 0 {
+		delay = time.Second
+	}
+	r.downUntil = time.Now().Add(delay)
+	gs := r.sortedGrants()
+	for _, g := range gs {
+		r.revokeLocked(g)
+	}
+	r.flushWaiters(CodeDown, delay)
+	r.restartTime = time.AfterFunc(delay, func() {
+		r.srv.mu.Lock()
+		defer r.srv.mu.Unlock()
+		r.down = false
+		r.restartTime = nil
+		r.grantWaiters()
+	})
+}
+
+// sortedGrants returns the live grants in (deadline, seq) order —
+// unlimited tenures (zero deadline) last, by seq — the same order the
+// live engine drains leftover timers in.
+func (r *resource) sortedGrants() []*grant {
+	gs := make([]*grant, 0, len(r.grants))
+	for _, g := range r.grants {
+		gs = append(gs, g)
+	}
+	sortGrants(gs)
+	return gs
+}
+
+func sortGrants(gs []*grant) {
+	sort.Slice(gs, func(i, j int) bool {
+		di, dj := gs[i].deadline, gs[j].deadline
+		switch {
+		case di.IsZero() != dj.IsZero():
+			return !di.IsZero() // real deadlines before unlimited
+		case !di.Equal(dj):
+			return di.Before(dj)
+		}
+		return gs[i].seq < gs[j].seq
+	})
+}
+
+// armHousekeeping starts the periodic housekeeping loop: every
+// interval the daemon needs HousekeepUnits free units transiently;
+// not finding them is the overload signal that crashes the resource.
+func (r *resource) armHousekeeping() {
+	iv := r.cfg.HousekeepInterval
+	r.hkTimer = time.AfterFunc(iv, func() {
+		s := r.srv
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.draining || s.closed {
+			return
+		}
+		if !r.down && !r.fits(r.cfg.HousekeepUnits) {
+			r.crashLocked()
+		}
+		r.armHousekeeping()
+	})
+}
+
+// peakLoad computes the admission book's maximum committed units over
+// [start, end): the classic boundary sweep over live bookings. Server
+// lock held.
+func (r *resource) peakLoad(start, end time.Time) int64 {
+	now := time.Now()
+	var peak int64
+	// Evaluate at each booking's start boundary plus the window start.
+	points := []time.Time{start}
+	for _, b := range r.bookings {
+		if b.canceled || !b.end.After(now) {
+			continue
+		}
+		if b.start.After(start) && b.start.Before(end) {
+			points = append(points, b.start)
+		}
+	}
+	for _, at := range points {
+		var load int64
+		for _, b := range r.bookings {
+			if b.canceled || !b.end.After(now) {
+				continue
+			}
+			if b.start.After(at) || !b.end.After(at) {
+				continue
+			}
+			load += b.units
+		}
+		if load > peak {
+			peak = load
+		}
+	}
+	return peak
+}
+
+// DrainRecord is one forced revocation during Shutdown, in firing
+// order — the shutdown analogue of the live engine's timer drain.
+type DrainRecord struct {
+	Resource   string
+	LeaseID    uint64
+	Holder     string
+	DeadlineNS int64 // 0 = unlimited tenure
+	Seq        uint64
+}
+
+// Shutdown drains the server: new acquires and reservations are
+// refused with CodeDraining (a typed, retriable verdict), parked
+// acquires are flushed, housekeeping stops, and in-flight grants are
+// given until ctx expires to land their releases. Grants still live
+// at the deadline have their watchdogs fired in (deadline, seq) order
+// — matching live.Engine.Run's drain semantics — and the firing order
+// is returned so tests can assert it. Idempotent; safe to call while
+// handlers are in flight.
+func (s *Server) Shutdown(ctx context.Context) []DrainRecord {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for _, name := range s.order {
+		r := s.res[name]
+		r.flushWaiters(CodeDraining, 0)
+		if r.hkTimer != nil {
+			r.hkTimer.Stop()
+			r.hkTimer = nil
+		}
+		if r.restartTime != nil {
+			r.restartTime.Stop()
+			r.restartTime = nil
+			r.down = false
+		}
+	}
+	s.mu.Unlock()
+
+	// Wait for in-flight grants to drain (their releases and watchdogs
+	// still run), polling on the wall clock.
+	for {
+		s.mu.Lock()
+		var tot int64
+		for _, r := range s.res {
+			tot += r.outstanding
+		}
+		s.mu.Unlock()
+		if tot == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Fire what remains, in (deadline, seq) order across resources:
+	// seq is server-wide, so the order is total.
+	var all []*grant
+	where := make(map[*grant]*resource)
+	for _, name := range s.order {
+		r := s.res[name]
+		for _, g := range r.grants {
+			all = append(all, g)
+			where[g] = r
+		}
+	}
+	sortGrants(all)
+	var recs []DrainRecord
+	for _, g := range all {
+		r := where[g]
+		rec := DrainRecord{Resource: r.cfg.Name, LeaseID: g.id, Holder: g.holder, Seq: g.seq}
+		if !g.deadline.IsZero() {
+			rec.DeadlineNS = int64(g.deadline.Sub(s.start))
+		}
+		recs = append(recs, rec)
+		r.revokeLocked(g)
+	}
+	s.closed = true
+	return recs
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}

@@ -1,0 +1,560 @@
+package gridd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Handler returns the daemon's HTTP surface. It is a plain
+// http.Handler so cmd/gridd can hang it on a real listener and tests
+// can hang it on an httptest.Server; the Server itself owns no socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /probe/{name}", s.handleProbe)
+	mux.HandleFunc("POST /acquire", s.handleAcquire)
+	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("POST /renew", s.handleRenew)
+	mux.HandleFunc("POST /reserve", s.handleReserve)
+	mux.HandleFunc("POST /claim", s.handleClaim)
+	mux.HandleFunc("POST /cancel", s.handleCancel)
+	mux.HandleFunc("POST /resources", s.handleCreate)
+	mux.HandleFunc("GET /stats/{name}", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// reply writes v as JSON with status 200.
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fail writes an ErrorReply with the HTTP status its code maps to.
+func fail(w http.ResponseWriter, er ErrorReply) {
+	status := http.StatusBadRequest
+	switch er.Code {
+	case CodeBusy, CodeRejected, CodeEarly:
+		status = http.StatusConflict
+	case CodeStale, CodeLapsed:
+		status = http.StatusGone
+	case CodeDown, CodeDraining:
+		status = http.StatusServiceUnavailable
+		if er.RetryAfterNS > 0 {
+			secs := (er.RetryAfterNS + int64(time.Second) - 1) / int64(time.Second)
+			w.Header().Set("Retry-After", fmt.Sprint(secs))
+		}
+	case CodeUnknown:
+		status = http.StatusNotFound
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(er)
+}
+
+// decode parses the request body into v.
+func decode(w http.ResponseWriter, req *http.Request, v any) bool {
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		fail(w, ErrorReply{Code: CodeBadRequest, Message: err.Error()})
+		return false
+	}
+	return true
+}
+
+// lookupLocked resolves a resource by name. Server lock held; on miss
+// it unlocks and writes the 404 itself, reporting !ok.
+func (s *Server) lookupLocked(w http.ResponseWriter, name string) (*resource, bool) {
+	r := s.res[name]
+	if r == nil {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeUnknown, Message: "no such resource: " + name})
+		return nil, false
+	}
+	return r, true
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	r, ok := s.lookupLocked(w, req.PathValue("name"))
+	if !ok {
+		return
+	}
+	pr := ProbeReply{
+		Resource: r.cfg.Name,
+		Capacity: r.capacity,
+		InUse:    r.inUse,
+		Free:     r.capacity - r.inUse,
+		Queue:    len(r.waiters),
+		Down:     r.down,
+		Draining: s.draining,
+	}
+	if pr.Free < 0 {
+		pr.Free = 0
+	}
+	s.mu.Unlock()
+	reply(w, pr)
+}
+
+func (s *Server) handleAcquire(w http.ResponseWriter, req *http.Request) {
+	var ar AcquireRequest
+	if !decode(w, req, &ar) {
+		return
+	}
+	if ar.Units <= 0 {
+		fail(w, ErrorReply{Code: CodeBadRequest, Message: "units must be positive"})
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeDraining, Message: "daemon draining"})
+		return
+	}
+	r, ok := s.lookupLocked(w, ar.Resource)
+	if !ok {
+		return
+	}
+	quantum := r.cfg.Quantum
+	if ar.QuantumNS > 0 {
+		quantum = time.Duration(ar.QuantumNS)
+	}
+	if r.down {
+		retry := time.Until(r.downUntil)
+		r.ledger(ar.Holder).noteWant(time.Now())
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeDown, Message: "resource down", RetryAfterNS: int64(retry)})
+		return
+	}
+	// Immediate grant when nothing is queued ahead: both the EMFILE
+	// regime and the parked regime share this fast path.
+	if len(r.waiters) == 0 && r.fits(ar.Units) {
+		rep := r.grantLocked(ar.Holder, ar.Units, quantum, 0)
+		s.mu.Unlock()
+		reply(w, *rep)
+		return
+	}
+	if ar.WaitNS <= 0 {
+		// EMFILE: an immediate verdict. The FIFO queue may not be
+		// jumped, so a non-empty queue is busy even with free units.
+		r.st.Rejects++
+		h := r.ledger(ar.Holder)
+		h.rejects++
+		h.noteWant(time.Now())
+		sf := r.shortfall(ar.Units)
+		if r.cfg.CrashHolder != "" && ar.Holder == r.cfg.CrashHolder {
+			// The schedd-side accept failure: rejecting this holder is
+			// the overload signal that crashes the resource.
+			r.crashLocked()
+		}
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeBusy, Message: "no free units", Shortfall: sf})
+		return
+	}
+	// Park FIFO: the long poll.
+	r.wseq++
+	wt := &waiter{
+		holder:  ar.Holder,
+		units:   ar.Units,
+		quantum: quantum,
+		seq:     r.wseq,
+		ch:      make(chan waitResult, 1),
+	}
+	r.waiters = append(r.waiters, wt)
+	r.ledger(ar.Holder).noteWant(time.Now())
+	s.mu.Unlock()
+
+	timer := time.NewTimer(time.Duration(ar.WaitNS))
+	defer timer.Stop()
+	select {
+	case res := <-wt.ch:
+		s.writeWaitResult(w, res)
+	case <-req.Context().Done():
+		s.abandonWaiter(w, r, wt, false)
+	case <-timer.C:
+		s.abandonWaiter(w, r, wt, true)
+	}
+}
+
+// writeWaitResult renders a parked acquire's outcome.
+func (s *Server) writeWaitResult(w http.ResponseWriter, res waitResult) {
+	if res.lease != nil {
+		reply(w, *res.lease)
+		return
+	}
+	fail(w, ErrorReply{Code: res.code, Message: "parked acquire failed", RetryAfterNS: int64(res.retry)})
+}
+
+// abandonWaiter resolves the park-vs-grant race under the lock: if the
+// grant landed first it wins (exactly the live backend's semantics);
+// otherwise the waiter is withdrawn and the verdict is busy.
+func (s *Server) abandonWaiter(w http.ResponseWriter, r *resource, wt *waiter, timedOut bool) {
+	s.mu.Lock()
+	select {
+	case res := <-wt.ch:
+		s.mu.Unlock()
+		s.writeWaitResult(w, res)
+		return
+	default:
+	}
+	wt.canceled = true
+	if timedOut {
+		r.st.Timeouts++
+	}
+	sf := r.shortfall(wt.units)
+	s.mu.Unlock()
+	fail(w, ErrorReply{Code: CodeBusy, Message: "wait expired", Shortfall: sf})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, req *http.Request) {
+	var rr ReleaseRequest
+	if !decode(w, req, &rr) {
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.lookupLocked(w, rr.Resource)
+	if !ok {
+		return
+	}
+	g, live := r.grants[rr.LeaseID]
+	if live && g.epoch == rr.Epoch {
+		r.retireLocked(g)
+		r.st.Releases++
+		r.grantWaiters()
+		s.mu.Unlock()
+		reply(w, struct{}{})
+		return
+	}
+	if r.cfg.Unfenced {
+		// The unfenced server applies whatever arrives: a duplicated
+		// or late release double-frees, corrupting inUse low. This is
+		// the ablation arm — the measured hazard, not a bug.
+		units := rr.Units
+		if units < 0 {
+			units = 0
+		}
+		r.inUse -= units
+		if r.inUse < 0 {
+			r.inUse = 0
+		}
+		r.st.DoubleFrees++
+		r.st.Releases++
+		r.grantWaiters()
+		s.mu.Unlock()
+		reply(w, struct{}{})
+		return
+	}
+	r.st.Stales++
+	fence := r.fence
+	s.mu.Unlock()
+	fail(w, ErrorReply{Code: CodeStale, Message: "lease fenced", Epoch: rr.Epoch, Fence: fence})
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, req *http.Request) {
+	var rn RenewRequest
+	if !decode(w, req, &rn) {
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.lookupLocked(w, rn.Resource)
+	if !ok {
+		return
+	}
+	g, live := r.grants[rn.LeaseID]
+	if live && g.epoch == rn.Epoch {
+		var rep RenewReply
+		if !g.deadline.IsZero() {
+			d := time.Duration(rn.ForNS)
+			if d <= 0 {
+				d = g.quantum
+			}
+			g.watchdog.Stop()
+			g.deadline = time.Now().Add(d)
+			id := g.id
+			g.watchdog = time.AfterFunc(d, func() { r.expire(id) })
+			rep.DeadlineNS = int64(g.deadline.Sub(s.start))
+		}
+		s.mu.Unlock()
+		reply(w, rep)
+		return
+	}
+	if r.cfg.Unfenced {
+		// Nothing to extend and no fence to say so: the unfenced
+		// server shrugs — the delayed-renew hazard of the wire model.
+		s.mu.Unlock()
+		reply(w, RenewReply{})
+		return
+	}
+	r.st.Stales++
+	fence := r.fence
+	s.mu.Unlock()
+	fail(w, ErrorReply{Code: CodeStale, Message: "lease fenced", Epoch: rn.Epoch, Fence: fence})
+}
+
+func (s *Server) handleReserve(w http.ResponseWriter, req *http.Request) {
+	var rr ReserveRequest
+	if !decode(w, req, &rr) {
+		return
+	}
+	if rr.Units <= 0 || rr.TenureNS <= 0 {
+		fail(w, ErrorReply{Code: CodeBadRequest, Message: "units and tenure must be positive"})
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeDraining, Message: "daemon draining"})
+		return
+	}
+	r, ok := s.lookupLocked(w, rr.Resource)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	start := now
+	if rr.StartNS > 0 {
+		start = now.Add(time.Duration(rr.StartNS))
+	}
+	end := start.Add(time.Duration(rr.TenureNS))
+	if peak := r.peakLoad(start, end); peak+rr.Units > r.capacity {
+		r.st.BookRejects++
+		h := r.ledger(rr.Holder)
+		h.rejects++
+		sf := peak + rr.Units - r.capacity
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeRejected, Message: "window over capacity", Shortfall: sf})
+		return
+	}
+	r.bookID++
+	b := &booking{id: r.bookID, holder: rr.Holder, units: rr.Units, start: start, end: end}
+	r.bookings[b.id] = b
+	r.st.Admits++
+	rep := ReserveReply{
+		BookingID: b.id,
+		StartNS:   int64(start.Sub(s.start)),
+		EndNS:     int64(end.Sub(s.start)),
+	}
+	s.mu.Unlock()
+	reply(w, rep)
+}
+
+func (s *Server) handleClaim(w http.ResponseWriter, req *http.Request) {
+	var cr ClaimRequest
+	if !decode(w, req, &cr) {
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.lookupLocked(w, cr.Resource)
+	if !ok {
+		return
+	}
+	b := r.bookings[cr.BookingID]
+	if b == nil || b.canceled {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeUnknown, Message: "no such booking"})
+		return
+	}
+	if b.claimed {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeBadRequest, Message: "booking already claimed"})
+		return
+	}
+	now := time.Now()
+	if now.Before(b.start) {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeEarly, Message: "window not open yet"})
+		return
+	}
+	if !now.Before(b.end) {
+		r.st.Lapses++
+		delete(r.bookings, b.id)
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeLapsed, Message: "window closed"})
+		return
+	}
+	b.claimed = true
+	// The window fences the claim: the lease's deadline is the
+	// booking's end, however late inside the window the claim landed.
+	rep := r.grantLocked(b.holder, b.units, b.end.Sub(now), 0)
+	if g := r.grants[rep.LeaseID]; g != nil {
+		g.deadline = b.end // pin exactly to the window, not now+tenure
+		rep.DeadlineNS = int64(b.end.Sub(s.start))
+	}
+	s.mu.Unlock()
+	reply(w, *rep)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, req *http.Request) {
+	var cr CancelRequest
+	if !decode(w, req, &cr) {
+		return
+	}
+	s.mu.Lock()
+	r, ok := s.lookupLocked(w, cr.Resource)
+	if !ok {
+		return
+	}
+	b := r.bookings[cr.BookingID]
+	if b == nil || b.canceled {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeUnknown, Message: "no such booking"})
+		return
+	}
+	if b.claimed {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeBadRequest, Message: "booking already claimed"})
+		return
+	}
+	b.canceled = true
+	delete(r.bookings, b.id)
+	s.mu.Unlock()
+	reply(w, struct{}{})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var cr CreateRequest
+	if !decode(w, req, &cr) {
+		return
+	}
+	if cr.Name == "" || cr.Capacity <= 0 {
+		fail(w, ErrorReply{Code: CodeBadRequest, Message: "name and positive capacity required"})
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		fail(w, ErrorReply{Code: CodeDraining, Message: "daemon draining"})
+		return
+	}
+	existed := s.res[cr.Name] != nil
+	s.createLocked(ResourceConfig{
+		Name:              cr.Name,
+		Capacity:          cr.Capacity,
+		Quantum:           time.Duration(cr.QuantumNS),
+		Unfenced:          cr.Unfenced,
+		HousekeepUnits:    cr.HousekeepUnits,
+		HousekeepInterval: time.Duration(cr.HousekeepIntervalNS),
+		RestartDelay:      time.Duration(cr.RestartDelayNS),
+		CrashHolder:       cr.CrashHolder,
+	})
+	s.mu.Unlock()
+	if !existed {
+		s.registerObs(cr.Name) // obs registration never runs under s.mu
+	}
+	reply(w, struct{}{})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	r, ok := s.lookupLocked(w, req.PathValue("name"))
+	if !ok {
+		return
+	}
+	st := s.statsLocked(r)
+	s.mu.Unlock()
+	reply(w, st)
+}
+
+// statsLocked snapshots a resource's accounting. Server lock held.
+func (s *Server) statsLocked(r *resource) StatsReply {
+	st := r.st // counters
+	st.Capacity = r.capacity
+	st.InUse = r.inUse
+	st.Outstanding = r.outstanding
+	st.MaxOutstanding = r.maxOutstanding
+	st.Down = r.down
+	st.Draining = s.draining
+	now := time.Now()
+	names := make([]string, 0, len(r.holders))
+	for name := range r.holders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.holders[name]
+		hs := HolderStats{
+			Holder:    name,
+			Grants:    h.grants,
+			Rejects:   h.rejects,
+			Revokes:   h.revokes,
+			MaxWaitNS: int64(h.maxWait),
+			Waiting:   h.waiting,
+		}
+		if h.waiting {
+			if cur := now.Sub(h.since); cur > time.Duration(hs.MaxWaitNS) {
+				hs.MaxWaitNS = int64(cur)
+			}
+			if cur := now.Sub(h.since); int64(cur) > st.LongestWaitNS {
+				st.LongestWaitNS = int64(cur)
+			}
+		}
+		if hs.MaxWaitNS > st.MaxWaitNS {
+			st.MaxWaitNS = hs.MaxWaitNS
+		}
+		st.Holders = append(st.Holders, hs)
+	}
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	n := len(s.res)
+	s.mu.Unlock()
+	reply(w, map[string]any{
+		"status":         status,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"resources":      n,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	scopes := append([]*obs.Scope(nil), s.scopes...)
+	s.mu.Unlock()
+	for _, sc := range scopes {
+		sc.Sample() // takes the registry lock; gauges re-take s.mu
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteProm(w)
+}
+
+// registerObs wires the named resource's gauges and counters into the
+// daemon's flight recorder. It must never run under s.mu: Scope.Sample
+// calls the closures below while holding the registry lock, and they
+// take s.mu — registering under s.mu would invert that order into a
+// deadlock.
+func (s *Server) registerObs(name string) {
+	clock := func() time.Duration { return time.Since(s.start) }
+	sc := s.reg.NewScope(clock, "resource", name)
+	read := func(f func(r *resource) float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			r := s.res[name]
+			if r == nil {
+				return 0
+			}
+			return f(r)
+		}
+	}
+	sc.GaugeFunc("gridd_capacity", "resource capacity in units", read(func(r *resource) float64 { return float64(r.capacity) }))
+	sc.GaugeFunc("gridd_in_use", "units currently allocated (bookkeeping view)", read(func(r *resource) float64 { return float64(r.inUse) }))
+	sc.GaugeFunc("gridd_outstanding", "units across live grants (ground truth)", read(func(r *resource) float64 { return float64(r.outstanding) }))
+	sc.GaugeFunc("gridd_queue", "parked acquires", read(func(r *resource) float64 { return float64(len(r.waiters)) }))
+	sc.GaugeFunc("gridd_grants", "leases granted", read(func(r *resource) float64 { return float64(r.st.Grants) }))
+	sc.GaugeFunc("gridd_revokes", "tenures revoked by the watchdog or a crash", read(func(r *resource) float64 { return float64(r.st.Revokes) }))
+	sc.GaugeFunc("gridd_stales", "operations fenced as stale", read(func(r *resource) float64 { return float64(r.st.Stales) }))
+	sc.GaugeFunc("gridd_crashes", "resource crashes (broadcast jams)", read(func(r *resource) float64 { return float64(r.st.Crashes) }))
+	sc.GaugeFunc("gridd_phantoms", "grants admitted past ground-truth capacity", read(func(r *resource) float64 { return float64(r.st.Phantoms) }))
+	s.mu.Lock()
+	s.scopes = append(s.scopes, sc)
+	s.mu.Unlock()
+}

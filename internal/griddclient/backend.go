@@ -1,0 +1,185 @@
+package griddclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gridd"
+	"repro/internal/live"
+)
+
+// Backend is a live engine whose resources live on a gridd daemon: the
+// third core.Backend next to sim and live. Processes, timers, virtual
+// time, and randomness come from the embedded engine; NewResource
+// creates the resource over the wire and hands back a proxy whose
+// Acquire/Release are socket round-trips. Ethernet, Aloha, Fixed, and
+// Reservation scenario code runs against it unmodified — the point of
+// the exercise.
+type Backend struct {
+	*live.Engine
+	C *Client
+
+	// Quantum is the virtual default tenure for resources created via
+	// NewResource; 0 means unlimited (no watchdog).
+	Quantum time.Duration
+	// Wait is the virtual long-poll window per parked Acquire round;
+	// 0 selects 30s. Acquire loops rounds until its context dies.
+	Wait time.Duration
+}
+
+var _ core.Backend = (*Backend)(nil)
+
+// NewBackend wraps eng with resources hosted by the daemon c points
+// at. The client's Timescale is aligned with the engine's.
+func NewBackend(eng *live.Engine, c *Client) *Backend {
+	c.Timescale = eng.Timescale()
+	return &Backend{Engine: eng, C: c}
+}
+
+// NewResource implements core.Backend: create-or-resize on the daemon,
+// then a local proxy. The signature has no error to return, so a wire
+// failure here panics — resource creation is scenario setup, and a
+// daemon that cannot even create resources has no scenario to run.
+func (b *Backend) NewResource(name string, capacity int) core.Resource {
+	err := b.C.CreateResource(context.Background(), gridd.CreateRequest{
+		Name:      name,
+		Capacity:  int64(capacity),
+		QuantumNS: int64(b.C.ToReal(b.Quantum)),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("griddclient: create %s: %v", name, err))
+	}
+	return &remoteResource{b: b, name: name, capacity: capacity}
+}
+
+// remoteResource proxies one daemon-hosted resource behind the
+// core.Resource surface.
+//
+// The read accessors (InUse, Available, QueueLen) and the synchronous
+// operations (TryAcquire, Release, SetCapacity) each cost a socket
+// round-trip made *without* releasing the engine monitor — core.
+// Resource's signatures leave no seam to do otherwise. Against a
+// local daemon that stall is tens of microseconds and is an accepted
+// cost of running unmodified discipline code; latency-sensitive cells
+// (internal/expt's gridd cells) drive the Client directly under
+// Proc.Blocking instead. Acquire, the only call that legitimately
+// parks, does release the monitor when its Proc is a Blocker (every
+// *live.Proc is).
+type remoteResource struct {
+	b    *Backend
+	name string
+
+	mu       sync.Mutex
+	capacity int      // local mirror for the no-error Capacity()
+	held     []*Lease // grants not yet released, LIFO
+}
+
+var _ core.Resource = (*remoteResource)(nil)
+
+func (r *remoteResource) Name() string { return r.name }
+
+func (r *remoteResource) Capacity() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.capacity
+}
+
+// probe reads the daemon's view; on wire failure it reports a fully
+// busy resource, which is the conservative carrier-sense answer (a
+// channel you cannot hear is not idle).
+func (r *remoteResource) probe() gridd.ProbeReply {
+	pr, err := r.b.C.Probe(context.Background(), r.name)
+	if err != nil {
+		r.mu.Lock()
+		cap := r.capacity
+		r.mu.Unlock()
+		return gridd.ProbeReply{Resource: r.name, Capacity: int64(cap), InUse: int64(cap)}
+	}
+	return pr
+}
+
+func (r *remoteResource) InUse() int     { return int(r.probe().InUse) }
+func (r *remoteResource) Available() int { return int(r.probe().Free) }
+func (r *remoteResource) QueueLen() int  { return r.probe().Queue }
+
+func (r *remoteResource) SetCapacity(n int) {
+	if err := r.b.C.CreateResource(context.Background(), gridd.CreateRequest{
+		Name: r.name, Capacity: int64(n),
+	}); err != nil {
+		return // daemon unreachable; local mirror keeps the old value
+	}
+	r.mu.Lock()
+	r.capacity = n
+	r.mu.Unlock()
+}
+
+// TryAcquire is the EMFILE regime: WaitNS 0, an immediate verdict.
+func (r *remoteResource) TryAcquire() bool {
+	lease, err := r.b.C.Acquire(context.Background(), gridd.AcquireRequest{
+		Resource: r.name, Holder: r.name + "/anon", Units: 1,
+	})
+	if err != nil {
+		return false
+	}
+	r.mu.Lock()
+	r.held = append(r.held, lease)
+	r.mu.Unlock()
+	return true
+}
+
+// Acquire parks in the daemon's FIFO queue via long-poll rounds until
+// granted or ctx dies. The engine monitor is released around each
+// round when p is a Blocker.
+func (r *remoteResource) Acquire(p core.Proc, ctx context.Context) error {
+	blocker, _ := p.(Blocker)
+	waitV := r.b.Wait
+	if waitV <= 0 {
+		waitV = 30 * time.Second
+	}
+	waitR := r.b.C.ToReal(waitV)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease *Lease
+		var err error
+		Block(blocker, func() {
+			lease, err = r.b.C.Acquire(ctx, gridd.AcquireRequest{
+				Resource: r.name, Holder: p.Name(), Units: 1, WaitNS: int64(waitR),
+			})
+		})
+		if err == nil {
+			r.mu.Lock()
+			r.held = append(r.held, lease)
+			r.mu.Unlock()
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(err, ErrBusy) || errors.Is(err, ErrUnavailable) {
+			continue // next round; FIFO position is re-taken, like a retry
+		}
+		return err
+	}
+}
+
+// Release retires the most recent unreleased grant. A stale verdict
+// (the watchdog already revoked it) means the units are home anyway,
+// which is all Release promises.
+func (r *remoteResource) Release() {
+	r.mu.Lock()
+	n := len(r.held)
+	if n == 0 {
+		r.mu.Unlock()
+		return
+	}
+	lease := r.held[n-1]
+	r.held = r.held[:n-1]
+	r.mu.Unlock()
+	_ = lease.Release(context.Background())
+}

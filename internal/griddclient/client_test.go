@@ -1,0 +1,230 @@
+package griddclient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gridd"
+	"repro/internal/griddclient"
+	"repro/internal/live"
+)
+
+func newDaemon(t *testing.T, rcs ...gridd.ResourceConfig) (*gridd.Server, string) {
+	t.Helper()
+	srv := gridd.NewServer(gridd.Config{Resources: rcs})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs.URL
+}
+
+// countingTripper records how many requests actually reach the wire.
+type countingTripper struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countingTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (c *countingTripper) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func TestTripperDropRequestNeverReachesServer(t *testing.T) {
+	_, url := newDaemon(t, gridd.ResourceConfig{Name: "fds", Capacity: 2})
+	counter := &countingTripper{}
+	f := griddclient.NewFaults(1)
+	f.PDropReq = 1
+	c := griddclient.New(url, 1)
+	c.HTTP = &http.Client{Transport: &griddclient.FaultTripper{Base: counter, F: f}}
+
+	_, err := c.Acquire(context.Background(), gridd.AcquireRequest{Resource: "fds", Holder: "a", Units: 1})
+	if !errors.Is(err, core.ErrLost) {
+		t.Fatalf("dropped request = %v; want core.ErrLost", err)
+	}
+	if counter.count() != 0 {
+		t.Fatalf("%d requests reached the wire; want 0", counter.count())
+	}
+	drops, _, _ := f.Snapshot()
+	if drops != 1 {
+		t.Fatalf("drops = %d; want 1", drops)
+	}
+}
+
+func TestTripperDropReplyAppliesServerSide(t *testing.T) {
+	_, url := newDaemon(t, gridd.ResourceConfig{Name: "fds", Capacity: 2})
+	f := griddclient.NewFaults(1)
+	f.PDropRep = 1
+	c := griddclient.New(url, 1)
+	c.HTTP = &http.Client{Transport: &griddclient.FaultTripper{F: f}}
+
+	// The acquire is applied server-side; only the reply is lost. This
+	// is the phantom-grant hazard: the client holds nothing it knows
+	// of, the server charges a unit until the watchdog reclaims it.
+	_, err := c.Acquire(context.Background(), gridd.AcquireRequest{Resource: "fds", Holder: "a", Units: 1})
+	if !errors.Is(err, core.ErrLost) {
+		t.Fatalf("dropped reply = %v; want core.ErrLost", err)
+	}
+	clean := griddclient.New(url, 1)
+	st, err := clean.Stats(context.Background(), "fds")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Grants != 1 || st.Outstanding != 1 {
+		t.Fatalf("stats = %+v; want the orphaned grant applied server-side", st)
+	}
+}
+
+func TestTripperDuplicateAppliesTwice(t *testing.T) {
+	_, url := newDaemon(t, gridd.ResourceConfig{Name: "fds", Capacity: 4})
+	f := griddclient.NewFaults(1)
+	f.PDup = 1
+	c := griddclient.New(url, 1)
+	c.HTTP = &http.Client{Transport: &griddclient.FaultTripper{F: f}}
+
+	lease, err := c.Acquire(context.Background(), gridd.AcquireRequest{Resource: "fds", Holder: "a", Units: 1})
+	if err != nil {
+		t.Fatalf("acquire over duplicating channel: %v", err)
+	}
+	clean := griddclient.New(url, 1)
+	st, _ := clean.Stats(context.Background(), "fds")
+	if st.Grants != 2 || st.Outstanding != 2 {
+		t.Fatalf("stats = %+v; want the duplicated acquire applied twice", st)
+	}
+	// The client saw the second grant; releasing it (over a healed
+	// channel — on the faulty one the release would be duplicated too,
+	// and the replay correctly fenced as stale) must not free the
+	// first: each lease retires exactly once.
+	c.HTTP = &http.Client{}
+	if err := lease.Release(context.Background()); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	st, _ = clean.Stats(context.Background(), "fds")
+	if st.Outstanding != 1 {
+		t.Fatalf("outstanding = %d after releasing the seen grant; want 1 orphan", st.Outstanding)
+	}
+}
+
+func TestTripperPartitionDropsEverything(t *testing.T) {
+	_, url := newDaemon(t, gridd.ResourceConfig{Name: "fds", Capacity: 2})
+	f := griddclient.NewFaults(1)
+	c := griddclient.New(url, 1)
+	c.HTTP = &http.Client{Transport: &griddclient.FaultTripper{F: f}}
+
+	f.Partition(50 * time.Millisecond)
+	if _, err := c.Probe(context.Background(), "fds"); !errors.Is(err, core.ErrLost) {
+		t.Fatalf("probe during partition = %v; want ErrLost", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Probe(context.Background(), "fds"); err != nil {
+		t.Fatalf("probe after partition healed: %v", err)
+	}
+}
+
+func TestTimescaleConversion(t *testing.T) {
+	c := griddclient.New("http://unused", 1000)
+	if got := c.ToReal(time.Second); got != time.Millisecond {
+		t.Fatalf("ToReal(1s)@1000 = %v; want 1ms", got)
+	}
+	if got := c.ToReal(time.Nanosecond); got != time.Nanosecond {
+		t.Fatalf("ToReal floor = %v; want 1ns (no busy spins)", got)
+	}
+	if got := c.ToVirtual(time.Millisecond); got != time.Second {
+		t.Fatalf("ToVirtual(1ms)@1000 = %v; want 1s", got)
+	}
+}
+
+// TestBackendRunsScenarioUnmodified drives the core.Backend surface —
+// the same NewResource/Acquire/Release calls every scenario makes —
+// through the wire, with real engine procs contending over the socket.
+func TestBackendRunsScenarioUnmodified(t *testing.T) {
+	srv, url := newDaemon(t)
+	_ = srv
+	eng := live.New(7, 200) // 1 virtual second = 5ms real
+	b := griddclient.NewBackend(eng, griddclient.New(url, 1))
+	b.Quantum = 2 * time.Minute // virtual; ample for every tenure below
+	b.Wait = 30 * time.Second
+
+	res := b.NewResource("lanes", 2)
+	if res.Capacity() != 2 || res.Available() != 2 {
+		t.Fatalf("fresh resource: cap %d avail %d; want 2/2", res.Capacity(), res.Available())
+	}
+
+	const n, opsPer = 6, 3
+	var mu sync.Mutex
+	completed := 0
+	for i := 0; i < n; i++ {
+		b.Spawn(fmt.Sprintf("client-%d", i), func(p core.Proc) {
+			for j := 0; j < opsPer; j++ {
+				if err := res.Acquire(p, b.Context()); err != nil {
+					return
+				}
+				p.SleepFor(2 * time.Second) // virtual hold
+				res.Release()
+				mu.Lock()
+				completed++
+				mu.Unlock()
+				p.SleepFor(time.Second)
+			}
+		})
+	}
+	if err := b.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if completed != n*opsPer {
+		t.Fatalf("completed %d ops; want %d", completed, n*opsPer)
+	}
+	// Every unit is home, conservation holds on the daemon's ledger.
+	c := griddclient.New(url, 1)
+	st, err := c.Stats(context.Background(), "lanes")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Outstanding != 0 || st.Phantoms != 0 {
+		t.Fatalf("stats = %+v; want all units home, no phantoms", st)
+	}
+	if st.Grants != int64(n*opsPer) || st.Grants != st.Releases+st.Revokes {
+		t.Fatalf("conservation: %d grants, %d releases, %d revokes", st.Grants, st.Releases, st.Revokes)
+	}
+}
+
+// TestBackendTryAcquireIsImmediate checks the EMFILE regime through
+// the core.Resource surface.
+func TestBackendTryAcquireIsImmediate(t *testing.T) {
+	_, url := newDaemon(t)
+	eng := live.New(1, 1000)
+	b := griddclient.NewBackend(eng, griddclient.New(url, 1))
+	res := b.NewResource("one", 1)
+
+	if !res.TryAcquire() {
+		t.Fatalf("TryAcquire on a free unit failed")
+	}
+	if res.TryAcquire() {
+		t.Fatalf("TryAcquire on a full resource succeeded")
+	}
+	res.Release()
+	if !res.TryAcquire() {
+		t.Fatalf("TryAcquire after release failed")
+	}
+	res.Release()
+	if got := res.InUse(); got != 0 {
+		t.Fatalf("InUse = %d at rest; want 0", got)
+	}
+	res.SetCapacity(5)
+	if res.Capacity() != 5 || res.Available() != 5 {
+		t.Fatalf("after SetCapacity(5): cap %d avail %d", res.Capacity(), res.Available())
+	}
+}

@@ -1,0 +1,179 @@
+package griddclient
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Faults is a concurrency-safe fault plan for the HTTP boundary: the
+// socket-level analogue of the chaos package's channel strategies
+// (drop, duplicate, delay, partition), re-implemented here because
+// chaos plans are engine-locked and a RoundTripper runs on arbitrary
+// goroutines outside any monitor. All decisions draw from one seeded
+// source under the plan's own mutex, so a seeded run makes the same
+// decisions in the same arrival order (the order itself stays
+// scheduler-dependent, as everywhere in the live backend).
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// PDropReq drops the request before it is sent: the server never
+	// sees the operation (a lost message on the forward path).
+	PDropReq float64
+	// PDropRep drops the reply after the server applied the operation:
+	// the client sees core.ErrLost while the server's state moved — the
+	// phantom-grant / lost-release hazard fencing exists to contain.
+	PDropRep float64
+	// PDup duplicates the request: the server applies it twice, the
+	// client sees only the second reply (an at-least-once channel).
+	PDup float64
+	// PDelay delays the request by Delay before sending.
+	PDelay float64
+	Delay  time.Duration
+
+	partUntil time.Time
+
+	// Counters (read with Snapshot).
+	drops, dups, delays int64
+}
+
+// NewFaults returns a plan drawing from a source seeded with seed.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Partition drops every message (both directions) for the next d of
+// real time: the two-rack partition at the socket.
+func (f *Faults) Partition(d time.Duration) {
+	f.mu.Lock()
+	f.partUntil = time.Now().Add(d)
+	f.mu.Unlock()
+}
+
+// Snapshot reports how many requests were dropped (either direction),
+// duplicated, and delayed.
+func (f *Faults) Snapshot() (drops, dups, delays int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops, f.dups, f.delays
+}
+
+// verdict is one request's fate, decided up front under the lock.
+type verdict struct {
+	dropReq, dropRep, dup bool
+	delay                 time.Duration
+}
+
+func (f *Faults) roll() verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var v verdict
+	if time.Now().Before(f.partUntil) {
+		v.dropReq = true
+		f.drops++
+		return v
+	}
+	switch {
+	case f.rng.Float64() < f.PDropReq:
+		v.dropReq = true
+		f.drops++
+	case f.rng.Float64() < f.PDropRep:
+		v.dropRep = true
+		f.drops++
+	case f.rng.Float64() < f.PDup:
+		v.dup = true
+		f.dups++
+	}
+	if f.rng.Float64() < f.PDelay && f.Delay > 0 {
+		v.delay = f.Delay
+		f.delays++
+	}
+	return v
+}
+
+// FaultTripper injects F's faults around Base (nil Base means
+// http.DefaultTransport). Install it as the Client's transport:
+//
+//	c.HTTP = &http.Client{Transport: &FaultTripper{F: faults}}
+type FaultTripper struct {
+	Base http.RoundTripper
+	F    *Faults
+}
+
+func (t *FaultTripper) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.F == nil {
+		return t.base().RoundTrip(req)
+	}
+	v := t.F.roll()
+	if v.delay > 0 {
+		select {
+		case <-time.After(v.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if v.dropReq {
+		if req.Body != nil {
+			_ = req.Body.Close()
+		}
+		return nil, fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, core.ErrLost)
+	}
+	if v.dup {
+		// Apply the operation twice server-side; hand the client only
+		// the second reply. Requires a replayable body (the JSON
+		// clients always set GetBody via bytes.Reader).
+		if clone := cloneRequest(req); clone != nil {
+			first, err := t.base().RoundTrip(req)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, first.Body)
+				_ = first.Body.Close()
+				return t.base().RoundTrip(clone)
+			}
+			// First send failed on the wire; fall through with the
+			// clone so the operation still happens once.
+			return t.base().RoundTrip(clone)
+		}
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if v.dropRep {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, fmt.Errorf("%s %s: reply %w", req.Method, req.URL.Path, core.ErrLost)
+	}
+	return resp, nil
+}
+
+// cloneRequest builds a re-sendable copy, or nil if the body cannot be
+// replayed.
+func cloneRequest(req *http.Request) *http.Request {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return clone
+	}
+	if req.GetBody == nil {
+		return nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil
+	}
+	clone.Body = body
+	return clone
+}
